@@ -1,0 +1,38 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"sgxbench/internal/core"
+	"sgxbench/internal/join"
+	"sgxbench/internal/platform"
+	"sgxbench/internal/rel"
+)
+
+func main() {
+	scale := int64(128)
+	algName := "RHO"
+	if len(os.Args) > 1 {
+		algName = os.Args[1]
+	}
+	setting := core.PlainCPU
+	if len(os.Args) > 2 && os.Args[2] == "die" {
+		setting = core.SGXDiE
+	}
+	plat := platform.XeonGold6326().Scaled(scale)
+	env := core.NewEnv(core.Options{Plat: plat, Setting: setting})
+	nR := rel.RowsForMB(100) / int(scale)
+	nS := rel.RowsForMB(400) / int(scale)
+	build, probe := rel.GenFKPair(env.Space, nR, nS, env.DataRegion(), 1234)
+	alg, err := join.ByName(algName)
+	if err != nil {
+		panic(err)
+	}
+	res, _ := alg.Run(env, build, probe, join.Options{Threads: 16})
+	fmt.Printf("%s %s: wall=%d tput=%.1f M/s build=%d probe=%d\n", algName, setting, res.WallCycles, res.Throughput(env, nR, nS)/1e6, res.BuildCycles, res.ProbeCycles)
+	for _, p := range res.Phases {
+		fmt.Printf("%-10s wall=%9d busiest=%9d bw=%v loads=%9d stores=%9d l1=%9d l2=%8d l3=%7d dram=%7d walks=%6d ssb=%9d strF=%7d rndF=%7d\n",
+			p.Name, p.WallCycles, p.Busiest, p.BWBound, p.Agg.Loads, p.Agg.Stores, p.Agg.L1Hits, p.Agg.L2Hits, p.Agg.L3Hits, p.Agg.DRAMAcc, p.Agg.TLBWalks, p.Agg.StallSSB, p.Agg.StreamFills, p.Agg.RandomFills)
+	}
+}

@@ -1,0 +1,164 @@
+// Package cache implements the set-associative cache and TLB models used
+// by the timing engine.
+//
+// Caches are simulated at cache-line granularity with true LRU replacement
+// inside each set. The model is deliberately structural (tags, sets, ways)
+// rather than statistical so that residency transitions — the paper's main
+// axis of analysis — fall out of the geometry: a 1 MB hash table hits in
+// L2, a 100 MB one misses to DRAM, exactly as in Figures 4, 5 and 13.
+package cache
+
+import "sgxbench/internal/platform"
+
+// Cache is one set-associative level. The zero value is not usable; use New.
+type Cache struct {
+	sets     uint64
+	ways     int
+	lineBits uint
+	tags     []uint64 // sets*ways; 0 means invalid, otherwise line+1
+	stamp    []uint64 // LRU timestamps
+	dirty    []bool
+	tick     uint64
+}
+
+// New builds a cache with the given geometry.
+func New(g platform.CacheGeom) *Cache {
+	sets := uint64(g.Sets())
+	lineBits := uint(0)
+	for l := g.LineBytes; l > 1; l >>= 1 {
+		lineBits++
+	}
+	n := sets * uint64(g.Ways)
+	return &Cache{
+		sets:     sets,
+		ways:     g.Ways,
+		lineBits: lineBits,
+		tags:     make([]uint64, n),
+		stamp:    make([]uint64, n),
+		dirty:    make([]bool, n),
+	}
+}
+
+// LineOf maps an address to its line number.
+func (c *Cache) LineOf(addr uint64) uint64 { return addr >> c.lineBits }
+
+// LineBytes returns the line size in bytes.
+func (c *Cache) LineBytes() int64 { return 1 << c.lineBits }
+
+// Access probes the cache for the line containing addr. On a hit it
+// refreshes LRU state and, for writes, marks the line dirty.
+func (c *Cache) Access(line uint64, write bool) bool {
+	base := (line % c.sets) * uint64(c.ways)
+	tag := line + 1
+	c.tick++
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+uint64(w)] == tag {
+			c.stamp[base+uint64(w)] = c.tick
+			if write {
+				c.dirty[base+uint64(w)] = true
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts the line (after a miss), evicting the LRU way of its set.
+// It reports the evicted line and whether it was dirty; ok is false when
+// an invalid way was used and nothing was evicted.
+func (c *Cache) Fill(line uint64, write bool) (evicted uint64, evictedDirty, ok bool) {
+	base := (line % c.sets) * uint64(c.ways)
+	c.tick++
+	victim := base
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		i := base + uint64(w)
+		if c.tags[i] == 0 {
+			victim = i
+			oldest = 0
+			break
+		}
+		if c.stamp[i] < oldest {
+			oldest = c.stamp[i]
+			victim = i
+		}
+	}
+	if c.tags[victim] != 0 {
+		evicted = c.tags[victim] - 1
+		evictedDirty = c.dirty[victim]
+		ok = true
+	}
+	c.tags[victim] = line + 1
+	c.stamp[victim] = c.tick
+	c.dirty[victim] = write
+	return evicted, evictedDirty, ok
+}
+
+// Reset invalidates all lines.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.stamp[i] = 0
+		c.dirty[i] = false
+	}
+	c.tick = 0
+}
+
+// TLB is a set-associative translation lookaside buffer over 4 KiB pages.
+type TLB struct {
+	sets  uint64
+	ways  int
+	tags  []uint64
+	stamp []uint64
+	tick  uint64
+}
+
+// NewTLB builds a TLB with the given geometry.
+func NewTLB(g platform.TLBGeom) *TLB {
+	sets := uint64(g.Entries / g.Ways)
+	if sets < 1 {
+		sets = 1
+	}
+	n := sets * uint64(g.Ways)
+	return &TLB{sets: sets, ways: g.Ways, tags: make([]uint64, n), stamp: make([]uint64, n)}
+}
+
+// Access probes for page; on a miss the page is installed (evicting LRU).
+// It returns whether the probe hit.
+func (t *TLB) Access(page uint64) bool {
+	base := (page % t.sets) * uint64(t.ways)
+	tag := page + 1
+	t.tick++
+	victim := base
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < t.ways; w++ {
+		i := base + uint64(w)
+		if t.tags[i] == tag {
+			t.stamp[i] = t.tick
+			return true
+		}
+		if t.tags[i] == 0 {
+			if oldest != 0 {
+				oldest = 0
+				victim = i
+			}
+			continue
+		}
+		if t.stamp[i] < oldest {
+			oldest = t.stamp[i]
+			victim = i
+		}
+	}
+	t.tags[victim] = tag
+	t.stamp[victim] = t.tick
+	return false
+}
+
+// Reset invalidates all entries.
+func (t *TLB) Reset() {
+	for i := range t.tags {
+		t.tags[i] = 0
+		t.stamp[i] = 0
+	}
+	t.tick = 0
+}

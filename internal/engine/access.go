@@ -1,0 +1,212 @@
+package engine
+
+import "sgxbench/internal/mem"
+
+// Synthetic address windows for translation metadata. They sit below the
+// first mem.Space region window (1<<44) so they can never collide with
+// data. PTE entries are 8 bytes (512 per page-table page); EPCM entries
+// are modeled at 16 bytes per EPC page. Both travel through the regular
+// cache hierarchy, so their locality follows the data's page locality:
+// sequential scans keep translation metadata cache-resident while random
+// accesses over large ranges miss on metadata too — the mechanism behind
+// the super-linear random-access overheads of Fig 5.
+const (
+	pteWindow  = uint64(1) << 42
+	epcmWindow = uint64(3) << 42
+)
+
+// access charges one memory access (after TLB translation) and returns
+// (latency, llcMiss, bandwidthPaced). The latency of paced accesses is a
+// cycle-advance, not a completion latency (see Load).
+//
+// For accesses that are part of a detected sequential stream the
+// translation latency is not charged: the hardware page walker runs ahead
+// of the stream alongside the prefetcher, so scans observe pure bandwidth
+// — this is why the paper's EPCM-check overhead hurts random accesses
+// (Fig 5) but leaves linear scans at ~-3 % (Fig 13).
+func (t *Thread) access(b *mem.Buffer, off int64, write bool, issue uint64) (lat uint64, llcMiss, paced bool) {
+	addr := b.Base + uint64(off)
+	remote := b.Reg.Node != t.Node
+	epc := b.Reg.Kind == mem.EPC
+	inStream := t.trainStream(addr)
+
+	// --- Translation ---
+	var tlbLat uint64
+	page := addr / uint64(t.Plat.PageBytes)
+	if !t.dtlb.Access(page) {
+		if t.stlb.Access(page) {
+			tlbLat += t.Plat.LatSTLB
+		} else {
+			t.st.TLBWalks++
+			tlbLat += t.Plat.LatPageWalk
+			for i := 0; i < t.Plat.PTEAccesses; i++ {
+				// Walk levels have decreasing footprint and increasing
+				// locality: level i covers page>>(9*i). Each level gets
+				// its own sub-window so entries do not alias.
+				pteAddr := pteWindow + uint64(i)<<40 + (page>>uint(9*i))<<3
+				l, _ := t.hierAccess(pteAddr, false, b.Reg.Node, false, remote)
+				tlbLat += l
+				t.st.MetaAcc++
+			}
+			if epc {
+				// EPCM security checks on enclave address translation
+				// (Section 4.1: "most of the security guarantees of Intel
+				// SGX are enforced by adding checks to address
+				// translation. This increases the cost of TLB misses").
+				// EPCM metadata lives in the PRM: its lines are encrypted
+				// like any EPC line and large enclave working sets push
+				// it out of the LLC, which is what drives random enclave
+				// accesses towards 3x (Fig 5).
+				tlbLat += t.Costs.EPCMCheckCycles
+				for i := 0; i < t.Costs.EPCMAccesses; i++ {
+					eAddr := epcmWindow + (page*uint64(t.Costs.EPCMAccesses)+uint64(i))<<6
+					l, _ := t.hierAccess(eAddr, false, b.Reg.Node, true, remote)
+					tlbLat += l
+					t.st.MetaAcc++
+				}
+			}
+		}
+	}
+
+	// --- Data ---
+	dl, level := t.hierAccess(addr, write, b.Reg.Node, epc, remote)
+	if level == levelDRAM {
+		t.st.DRAMAcc++
+		if inStream {
+			// Prefetched stream: pace at stream bandwidth instead of
+			// paying the full miss latency; translation overlaps with
+			// the stream.
+			bw := t.Plat.CoreStreamBW
+			if remote {
+				bw = t.Plat.RemoteStreamBW
+				if epc {
+					bw *= t.Costs.UPIStreamTaxEPC
+				}
+			} else if epc {
+				bw *= t.Plat.EPCStreamTax
+			}
+			lat = uint64(float64(t.Plat.L1D.LineBytes) / bw)
+			t.st.StreamFills++
+			return lat, true, true
+		}
+		t.st.RandomFills++
+		return tlbLat + dl, true, false
+	}
+	return tlbLat + dl, false, false
+}
+
+type level int
+
+const (
+	levelL1 level = iota
+	levelL2
+	levelL3
+	levelDRAM
+)
+
+// hierAccess walks the cache hierarchy for one line, filling on miss, and
+// returns the latency and the level that served the access. DRAM-level
+// costs include SGX adders (TME-MK decryption for EPC lines, UPI transfer
+// and UCE encryption for remote lines) and are accounted in the byte
+// counters used for phase-level bandwidth composition.
+func (t *Thread) hierAccess(addr uint64, write bool, homeNode int, epc, remote bool) (uint64, level) {
+	line := t.l1.LineOf(addr)
+	lineBytes := uint64(t.Plat.L1D.LineBytes)
+	if t.l1.Access(line, write) {
+		t.st.L1Hits++
+		return t.Plat.LatL1, levelL1
+	}
+	if t.l2.Access(line, write) {
+		t.l1.Fill(line, write)
+		t.st.L2Hits++
+		return t.Plat.LatL2, levelL2
+	}
+	if t.l3.Access(line, write) {
+		t.l2.Fill(line, write)
+		t.l1.Fill(line, write)
+		t.st.L3Hits++
+		return t.Plat.LatL3, levelL3
+	}
+	// DRAM access.
+	lat := t.Plat.LatDRAM
+	if remote {
+		lat += t.Plat.LatRemote
+		t.st.UPIBytes += lineBytes
+		if epc {
+			lat += t.Costs.UCELatency
+		}
+	}
+	if epc {
+		lat += t.Costs.EPCLineDecrypt
+	}
+	node := homeNode
+	if node < 0 || node > 1 {
+		node = 0
+	}
+	t.st.DRAMBytes[node] += lineBytes
+	if write {
+		// Write-allocate brings the line in and will eventually write it
+		// back: account the writeback half now.
+		t.st.DRAMBytes[node] += lineBytes
+		if remote {
+			t.st.UPIBytes += lineBytes
+		}
+	}
+	t.l1.Fill(line, write)
+	t.l2.Fill(line, write)
+	if _, dirty, ok := t.l3.Fill(line, write); ok && dirty {
+		t.st.EvictedDirty++
+		t.st.DRAMBytes[node] += lineBytes
+	}
+	return lat, levelDRAM
+}
+
+// trainStream updates the prefetcher's stream table and reports whether
+// the access at addr continues a detected sequential stream (two or more
+// consecutive lines). A small fully-associative table of 16 streams is
+// tracked, mirroring hardware stream prefetchers.
+func (t *Thread) trainStream(addr uint64) bool {
+	line := addr >> 6
+	t.streamTick++
+	// Look for a stream this line extends (ascending, descending, or a
+	// re-touch of the current line). Hardware stream prefetchers track
+	// both directions; descending matters for CrkJoin's two-pointer pass.
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range t.streams {
+		s := &t.streams[i]
+		if s.lastUse != 0 && (line == s.lastLine+1 || line == s.lastLine || line+1 == s.lastLine) {
+			if line != s.lastLine {
+				s.streak++
+			}
+			s.lastLine = line
+			s.lastUse = t.streamTick
+			return s.streak >= 2
+		}
+		if s.lastUse < oldest {
+			oldest = s.lastUse
+			victim = i
+		}
+	}
+	// New potential stream replaces the least recently used slot.
+	t.streams[victim] = stream{lastLine: line, streak: 0, lastUse: t.streamTick}
+	return false
+}
+
+// ResetMemoryState clears caches, TLBs and the prefetcher table (cold
+// start). Counters and the clock are preserved.
+func (t *Thread) ResetMemoryState() {
+	t.l1.Reset()
+	t.l2.Reset()
+	t.l3.Reset()
+	t.dtlb.Reset()
+	t.stlb.Reset()
+	t.streams = [nStreams]stream{}
+	for i := range t.mlp {
+		t.mlp[i] = 0
+	}
+	for i := range t.sbuf {
+		t.sbuf[i] = 0
+	}
+	t.storeBarrier = 0
+}

@@ -1,0 +1,417 @@
+// Package engine implements the per-thread CPU timing model.
+//
+// Algorithms execute real Go code over real data and, for every memory
+// operation, also inform the engine, which advances a simulated cycle
+// clock. The model captures the micro-architectural mechanisms the paper
+// identifies as performance-relevant for SGXv2:
+//
+//   - a structural cache and TLB hierarchy (internal/cache) with page-walk
+//     costs whose PTE fetches themselves travel through the caches;
+//   - memory-level parallelism: up to MLPSlots outstanding misses overlap,
+//     so independent random accesses pipeline while dependent chains
+//     (pointer chasing, B-tree descent) serialize via dependency tokens;
+//   - a hardware prefetcher: sequential streams are bandwidth-paced rather
+//     than latency-bound, which makes scans bandwidth-limited as in Fig 13;
+//   - a store buffer and, centrally, the Speculative Store Bypass (SSB)
+//     mitigation: when Mode.Mitigation is set — always the case inside SGX
+//     enclaves (Section 4.2) — a load may not issue before the addresses
+//     of all program-order-earlier stores are known. Outside enclaves
+//     loads issue speculatively with a small misspeculation cost.
+//
+// SGX-specific memory costs (TME-MK line decryption for EPC pages, EPCM
+// security checks on enclave page walks, UPI encryption for remote-socket
+// EPC traffic) are charged based on each buffer's mem.Region.
+//
+// Invariant: the engine computes time only. It never produces or alters
+// data values, so results are bit-identical across execution modes.
+package engine
+
+import (
+	"fmt"
+
+	"sgxbench/internal/cache"
+	"sgxbench/internal/mem"
+	"sgxbench/internal/platform"
+)
+
+// Tok is a dependency token: the simulated cycle at which a value (or an
+// address derived from it) becomes available. The zero token means
+// "ready immediately".
+type Tok uint64
+
+// Mode describes how code executes, orthogonally to where data lives.
+type Mode struct {
+	Name string
+	// Mitigation reports whether the Speculative Store Bypass mitigation
+	// is active. It is permanently enabled inside SGX enclaves and can be
+	// enabled outside via prctl (the paper's "Plain CPU M" setting).
+	Mitigation bool
+	// InEnclave reports whether code runs inside an enclave, which makes
+	// OS interactions (futex sleep/wake, page commits) require enclave
+	// transitions.
+	InEnclave bool
+}
+
+func (m Mode) String() string { return m.Name }
+
+// The four execution settings used throughout the paper's evaluation.
+var (
+	// PlainCPU is native execution without SGX (baseline).
+	PlainCPU = Mode{Name: "Plain CPU"}
+	// PlainCPUM is native execution with the SSB mitigation force-enabled
+	// via prctl (Figures 6 and 9, setting "Plain CPU M").
+	PlainCPUM = Mode{Name: "Plain CPU M", Mitigation: true}
+	// Enclave is execution inside an SGXv2 enclave. Whether an access
+	// pays EPC costs depends on the buffer's placement: allocate data in
+	// mem.EPC for the paper's "SGX DiE" setting or in mem.Untrusted for
+	// "SGX DoE".
+	Enclave = Mode{Name: "SGX enclave", Mitigation: true, InEnclave: true}
+)
+
+// SGXCosts parameterizes the SGXv2-specific memory system costs.
+type SGXCosts struct {
+	// EPCLineDecrypt is added to every DRAM line transfer from/to EPC
+	// memory (TME-MK adds ~11ns to LLC misses; Section 4.1).
+	EPCLineDecrypt uint64
+	// EPCMCheckCycles is the fixed extra page-walk cost for EPC pages
+	// (SGX security checks added to address translation).
+	EPCMCheckCycles uint64
+	// EPCMAccesses is the number of EPCM metadata memory accesses charged
+	// through the cache hierarchy per EPC page walk. With large enclave
+	// working sets these metadata accesses miss the LLC themselves, which
+	// is what makes random enclave accesses up to ~3x slower (Fig 5).
+	EPCMAccesses int
+	// UCELatency is added per cache line crossing the UPI link to a
+	// remote socket's EPC (UPI Crypto Engine, Section 2).
+	UCELatency uint64
+	// UPIStreamTaxEPC is the multiplicative bandwidth factor for
+	// encrypted UPI streams (Fig 16: 77% single-thread remote).
+	UPIStreamTaxEPC float64
+}
+
+// DefaultSGXCosts returns the calibrated cost set used by all experiments.
+func DefaultSGXCosts() SGXCosts {
+	return SGXCosts{
+		EPCLineDecrypt:  32, // ~11 ns at 2.9 GHz
+		EPCMCheckCycles: 120,
+		EPCMAccesses:    1,
+		UCELatency:      150,
+		UPIStreamTaxEPC: 0.77,
+	}
+}
+
+// Stats aggregates the events observed by one thread.
+type Stats struct {
+	Cycles     uint64 // set by Drain / read via Thread.Cycle
+	WorkCycles uint64
+
+	Loads  uint64
+	Stores uint64
+
+	L1Hits  uint64
+	L2Hits  uint64
+	L3Hits  uint64
+	DRAMAcc uint64 // LLC misses reaching DRAM (data accesses only)
+
+	TLBWalks  uint64
+	MetaAcc   uint64 // PTE + EPCM metadata memory accesses
+	StallSSB  uint64 // cycles loads were delayed by the store-address barrier
+	SpecFlush uint64 // misspeculation flushes (mitigation off)
+
+	DRAMBytes    [2]uint64 // per-socket DRAM traffic in bytes
+	UPIBytes     uint64    // cross-socket traffic in bytes
+	StreamFills  uint64    // prefetched (bandwidth-paced) line fills
+	RandomFills  uint64    // latency-bound line fills
+	EvictedDirty uint64    // dirty L3 evictions (writeback traffic)
+}
+
+// Add accumulates other into s (Cycles is maxed, not summed).
+func (s *Stats) Add(o Stats) {
+	if o.Cycles > s.Cycles {
+		s.Cycles = o.Cycles
+	}
+	s.WorkCycles += o.WorkCycles
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	s.L1Hits += o.L1Hits
+	s.L2Hits += o.L2Hits
+	s.L3Hits += o.L3Hits
+	s.DRAMAcc += o.DRAMAcc
+	s.TLBWalks += o.TLBWalks
+	s.MetaAcc += o.MetaAcc
+	s.StallSSB += o.StallSSB
+	s.SpecFlush += o.SpecFlush
+	s.DRAMBytes[0] += o.DRAMBytes[0]
+	s.DRAMBytes[1] += o.DRAMBytes[1]
+	s.UPIBytes += o.UPIBytes
+	s.StreamFills += o.StreamFills
+	s.RandomFills += o.RandomFills
+	s.EvictedDirty += o.EvictedDirty
+}
+
+// stream tracks one detected sequential access stream for the prefetcher.
+type stream struct {
+	lastLine uint64
+	streak   uint32
+	lastUse  uint64
+}
+
+const nStreams = 16
+
+// Thread is one simulated hardware thread with private L1/L2/TLB state and
+// a share of the socket's L3.
+type Thread struct {
+	Plat  *platform.Platform
+	Mode  Mode
+	Costs SGXCosts
+	Node  int // socket the thread is pinned to
+	ID    int
+
+	cycle        uint64
+	issueAcc     int      // sub-cycle issue slots consumed (superscalar width)
+	mlp          []uint64 // outstanding miss completion times
+	sbuf         []uint64 // store buffer completion ring
+	sbufPos      int
+	storeBarrier uint64 // running max of store address-known times
+	specCount    uint64
+
+	l1, l2, l3 *cache.Cache
+	dtlb, stlb *cache.TLB
+
+	streams    [nStreams]stream
+	streamTick uint64
+
+	st Stats
+}
+
+// Config bundles the knobs for creating threads.
+type Config struct {
+	Plat    *platform.Platform
+	Mode    Mode
+	Costs   SGXCosts
+	Node    int
+	L3Share int // number of threads sharing the socket L3 (>=1)
+}
+
+// NewThread creates a thread with cold caches.
+func NewThread(cfg Config, id int) *Thread {
+	if cfg.Plat == nil {
+		panic("engine: Config.Plat is required")
+	}
+	share := cfg.L3Share
+	if share < 1 {
+		share = 1
+	}
+	l3geom := cfg.Plat.L3
+	l3geom.SizeBytes = l3geom.SizeBytes / int64(share)
+	if l3geom.SizeBytes < int64(l3geom.Ways)*l3geom.LineBytes {
+		l3geom.SizeBytes = int64(l3geom.Ways) * l3geom.LineBytes
+	}
+	t := &Thread{
+		Plat:  cfg.Plat,
+		Mode:  cfg.Mode,
+		Costs: cfg.Costs,
+		Node:  cfg.Node,
+		ID:    id,
+		mlp:   make([]uint64, cfg.Plat.MLPSlots),
+		sbuf:  make([]uint64, cfg.Plat.StoreBufSize),
+		l1:    cache.New(cfg.Plat.L1D),
+		l2:    cache.New(cfg.Plat.L2),
+		l3:    cache.New(l3geom),
+		dtlb:  cache.NewTLB(cfg.Plat.DTLB),
+		stlb:  cache.NewTLB(cfg.Plat.STLB),
+	}
+	return t
+}
+
+// Cycle returns the thread's current cycle (issue clock; completions may
+// be outstanding — call Drain for a quiescent timestamp).
+func (t *Thread) Cycle() uint64 { return t.cycle }
+
+// SetCycle force-aligns the thread clock (used at phase barriers).
+func (t *Thread) SetCycle(c uint64) {
+	if c > t.cycle {
+		t.cycle = c
+	}
+}
+
+// Stats returns a snapshot of the thread's counters with Cycles filled in.
+func (t *Thread) Stats() Stats {
+	s := t.st
+	s.Cycles = t.cycle
+	return s
+}
+
+// ResetStats clears counters but keeps cache/TLB contents and the clock.
+func (t *Thread) ResetStats() { t.st = Stats{} }
+
+// issueWidth is the superscalar issue width: up to four micro-ops retire
+// per cycle, so back-to-back independent memory operations cost 1/4 cycle
+// of issue bandwidth each. Dependency chains still pay full latencies via
+// tokens — this is what separates throughput-bound plain execution from
+// the latency-bound serialization the SSB mitigation induces.
+const issueWidth = 4
+
+// issueTick consumes one issue slot and returns the current issue cycle.
+func (t *Thread) issueTick() uint64 {
+	t.issueAcc++
+	if t.issueAcc >= issueWidth {
+		t.issueAcc = 0
+		t.cycle++
+	}
+	return t.cycle
+}
+
+// Work advances the clock by n compute cycles (instructions that are not
+// memory operations: hashing, comparisons, SIMD lane work).
+func (t *Thread) Work(n uint64) {
+	t.cycle += n
+	t.st.WorkCycles += n
+}
+
+// After returns the token for a value that becomes available n cycles
+// after dep (dataflow latency of a dependent computation).
+func After(dep Tok, n uint64) Tok { return dep + Tok(n) }
+
+// maxTok returns the later of two tokens.
+func maxTok(a, b Tok) Tok {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Load issues a load of size bytes at b[off]. dep is the token of the
+// value the *address* depends on (zero for statically known addresses).
+// It returns the token at which the loaded value is available.
+func (t *Thread) Load(b *mem.Buffer, off, size int64, dep Tok) Tok {
+	t.checkRange(b, off, size)
+	issue := maxTok(Tok(t.issueTick()), dep)
+	if t.Mode.Mitigation {
+		if bar := Tok(t.storeBarrier); bar > issue {
+			t.st.StallSSB += uint64(bar - issue)
+			issue = bar
+		}
+	} else if Tok(t.storeBarrier) > issue {
+		// Speculative execution: the load bypasses pending stores; rare
+		// misspeculations flush the pipeline (Section 4.2 notes unrolling
+		// also helps the plain CPU by reducing misspeculations).
+		t.specCount++
+		if t.specCount%64 == 0 {
+			t.cycle += 20
+			t.st.SpecFlush++
+			issue = maxTok(issue, Tok(t.cycle))
+		}
+	}
+	t.st.Loads++
+	lat, llcMiss, paced := t.access(b, off, false, uint64(issue))
+	var done Tok
+	switch {
+	case paced:
+		// Bandwidth-paced stream: the prefetcher hides latency, the core
+		// advances at stream bandwidth.
+		t.cycle = uint64(issue) + lat
+		done = Tok(t.cycle)
+	case llcMiss:
+		slot := t.minSlot()
+		start := maxTok(issue, Tok(t.mlp[slot]))
+		done = start + Tok(lat)
+		t.mlp[slot] = uint64(done)
+	default:
+		done = issue + Tok(lat)
+	}
+	return done
+}
+
+// Store issues a store of size bytes at b[off]. addrDep is the token of
+// the value the *address* was computed from — this is what makes a store
+// "data-dependent" in the paper's sense (histogram bins, hash buckets,
+// partition cursors). dataDep is the token of the stored value. The
+// returned token is when the stored data is visible to a dependent load
+// (store-to-load forwarding).
+func (t *Thread) Store(b *mem.Buffer, off, size int64, addrDep, dataDep Tok) Tok {
+	t.checkRange(b, off, size)
+	issue := Tok(t.issueTick())
+	addrKnown := maxTok(issue, addrDep)
+	if uint64(addrKnown) > t.storeBarrier {
+		t.storeBarrier = uint64(addrKnown)
+	}
+	t.st.Stores++
+	lat, llcMiss, paced := t.access(b, off, true, uint64(issue))
+	ready := maxTok(addrKnown, dataDep)
+	var done Tok
+	switch {
+	case paced:
+		t.cycle = uint64(issue) + lat
+		done = maxTok(ready, Tok(t.cycle))
+	case llcMiss:
+		// Write-allocate: the RFO occupies a miss slot like a load.
+		slot := t.minSlot()
+		start := maxTok(ready, Tok(t.mlp[slot]))
+		done = start + Tok(lat)
+		t.mlp[slot] = uint64(done)
+	default:
+		done = ready + Tok(lat)
+	}
+	// Store buffer occupancy: if the ring is full of incomplete stores,
+	// issue stalls until the oldest drains.
+	if t.sbuf[t.sbufPos] > t.cycle {
+		t.cycle = t.sbuf[t.sbufPos]
+	}
+	t.sbuf[t.sbufPos] = uint64(done)
+	t.sbufPos = (t.sbufPos + 1) % len(t.sbuf)
+	// Forwarding latency from the store buffer.
+	return maxTok(ready, dataDep) + 5
+}
+
+// CAS models an atomic read-modify-write (lock prefix): the line is
+// loaded, held for ~20 cycles, and written back. The returned token is
+// when the new value is globally visible. Used by latches and lock-free
+// queues. Independent CAS operations to different lines still overlap in
+// the memory system (line-granular locking), as on real hardware.
+func (t *Thread) CAS(b *mem.Buffer, off int64, dep Tok) Tok {
+	tok := t.Load(b, off, 8, dep)
+	done := After(tok, 20)
+	t.Store(b, off, 8, dep, done)
+	return done
+}
+
+// Fence waits for all outstanding loads and stores to complete.
+func (t *Thread) Fence() { t.Drain() }
+
+// Drain advances the clock past every outstanding miss and store, and
+// past the store-address barrier; it returns the quiesced cycle.
+func (t *Thread) Drain() uint64 {
+	m := t.cycle
+	for _, c := range t.mlp {
+		if c > m {
+			m = c
+		}
+	}
+	for _, c := range t.sbuf {
+		if c > m {
+			m = c
+		}
+	}
+	if t.storeBarrier > m {
+		m = t.storeBarrier
+	}
+	t.cycle = m
+	return m
+}
+
+func (t *Thread) minSlot() int {
+	best, bestC := 0, t.mlp[0]
+	for i := 1; i < len(t.mlp); i++ {
+		if t.mlp[i] < bestC {
+			best, bestC = i, t.mlp[i]
+		}
+	}
+	return best
+}
+
+func (t *Thread) checkRange(b *mem.Buffer, off, size int64) {
+	if off < 0 || size < 0 || off+size > b.Size {
+		panic(fmt.Sprintf("engine: access [%d,%d) out of buffer %q of size %d", off, off+size, b.Name, b.Size))
+	}
+}

@@ -1,0 +1,170 @@
+// Package exec runs multi-threaded simulated phases.
+//
+// Operators are structured as barrier-separated phases (exactly how the
+// paper's join implementations work: histogram, partition, build, probe).
+// Within a phase each simulated thread runs independently — real Go
+// goroutines advancing private cycle clocks — and at the barrier the
+// group clock advances to the slowest thread, then is raised further if
+// the phase's aggregate DRAM or UPI traffic exceeds what the socket
+// bandwidth allows in that time (roofline composition). This reproduces
+// both compute/latency-bound behaviour (joins) and bandwidth-bound
+// behaviour (multi-threaded scans, Fig 14; UPI-bound cross-NUMA scans,
+// Fig 16).
+package exec
+
+import (
+	"sync"
+
+	"sgxbench/internal/engine"
+	"sgxbench/internal/platform"
+)
+
+// Group is a set of simulated threads that execute phases together.
+type Group struct {
+	Plat    *platform.Platform
+	Threads []*engine.Thread
+	clock   uint64
+	phases  []PhaseStats
+}
+
+// PhaseStats describes one completed phase.
+type PhaseStats struct {
+	Name       string
+	WallCycles uint64
+	Busiest    uint64 // slowest thread's cycles (before bandwidth raise)
+	BWBound    bool   // wall time was raised by a bandwidth roof
+	Agg        engine.Stats
+}
+
+// NewGroup creates n threads. nodeOf maps a thread index to its socket
+// (nil pins everything to node 0, the paper's default single-socket
+// setup). Threads on the same socket share that socket's L3.
+func NewGroup(cfg engine.Config, n int, nodeOf func(i int) int) *Group {
+	if nodeOf == nil {
+		nodeOf = func(int) int { return 0 }
+	}
+	perNode := map[int]int{}
+	for i := 0; i < n; i++ {
+		perNode[nodeOf(i)]++
+	}
+	g := &Group{Plat: cfg.Plat, Threads: make([]*engine.Thread, n)}
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Node = nodeOf(i)
+		c.L3Share = perNode[c.Node]
+		g.Threads[i] = engine.NewThread(c, i)
+	}
+	return g
+}
+
+// Clock returns the group-aligned simulated time.
+func (g *Group) Clock() uint64 { return g.clock }
+
+// AdvanceClock adds serialized cycles (e.g. EDMM page commits) to the
+// group clock between phases.
+func (g *Group) AdvanceClock(cycles uint64) {
+	g.clock += cycles
+	for _, t := range g.Threads {
+		t.SetCycle(g.clock)
+	}
+}
+
+// Phase runs body on every thread concurrently, waits for all, and
+// advances the group clock with bandwidth composition. It returns the
+// phase statistics.
+func (g *Group) Phase(name string, body func(t *engine.Thread, id int)) PhaseStats {
+	start := g.clock
+	before := make([]engine.Stats, len(g.Threads))
+	for i, t := range g.Threads {
+		t.SetCycle(start)
+		before[i] = t.Stats()
+	}
+	var wg sync.WaitGroup
+	for i, t := range g.Threads {
+		wg.Add(1)
+		go func(t *engine.Thread, id int) {
+			defer wg.Done()
+			body(t, id)
+			t.Drain()
+		}(t, i)
+	}
+	wg.Wait()
+
+	ps := PhaseStats{Name: name}
+	var dram [2]uint64
+	var upi uint64
+	for i, t := range g.Threads {
+		s := t.Stats()
+		cyc := s.Cycles - start
+		if cyc > ps.Busiest {
+			ps.Busiest = cyc
+		}
+		d := delta(before[i], s)
+		ps.Agg.Add(d)
+		dram[0] += d.DRAMBytes[0]
+		dram[1] += d.DRAMBytes[1]
+		upi += d.UPIBytes
+	}
+	wall := ps.Busiest
+	for node := 0; node < 2; node++ {
+		if need := uint64(float64(dram[node]) / g.Plat.SocketDRAMBW); need > wall {
+			wall = need
+			ps.BWBound = true
+		}
+	}
+	if need := uint64(float64(upi) / g.Plat.UPIBW); need > wall {
+		wall = need
+		ps.BWBound = true
+	}
+	ps.WallCycles = wall
+	ps.Agg.Cycles = wall
+	g.clock = start + wall
+	for _, t := range g.Threads {
+		t.SetCycle(g.clock)
+	}
+	g.phases = append(g.phases, ps)
+	return ps
+}
+
+// Phases returns the recorded per-phase statistics in execution order.
+func (g *Group) Phases() []PhaseStats { return g.phases }
+
+// ResetPhases clears the recorded phase log and rebases the clock to 0.
+func (g *Group) ResetPhases() {
+	g.phases = nil
+	g.clock = 0
+}
+
+// TotalStats sums the aggregate stats over all recorded phases.
+func (g *Group) TotalStats() engine.Stats {
+	var s engine.Stats
+	for _, p := range g.phases {
+		s.Add(p.Agg)
+	}
+	s.Cycles = g.clock
+	return s
+}
+
+func delta(a, b engine.Stats) engine.Stats {
+	d := engine.Stats{
+		Cycles:       b.Cycles - a.Cycles,
+		WorkCycles:   b.WorkCycles - a.WorkCycles,
+		Loads:        b.Loads - a.Loads,
+		Stores:       b.Stores - a.Stores,
+		L1Hits:       b.L1Hits - a.L1Hits,
+		L2Hits:       b.L2Hits - a.L2Hits,
+		L3Hits:       b.L3Hits - a.L3Hits,
+		DRAMAcc:      b.DRAMAcc - a.DRAMAcc,
+		TLBWalks:     b.TLBWalks - a.TLBWalks,
+		MetaAcc:      b.MetaAcc - a.MetaAcc,
+		StallSSB:     b.StallSSB - a.StallSSB,
+		SpecFlush:    b.SpecFlush - a.SpecFlush,
+		UPIBytes:     b.UPIBytes - a.UPIBytes,
+		StreamFills:  b.StreamFills - a.StreamFills,
+		RandomFills:  b.RandomFills - a.RandomFills,
+		EvictedDirty: b.EvictedDirty - a.EvictedDirty,
+	}
+	d.DRAMBytes[0] = b.DRAMBytes[0] - a.DRAMBytes[0]
+	d.DRAMBytes[1] = b.DRAMBytes[1] - a.DRAMBytes[1]
+	return d
+}

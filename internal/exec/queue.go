@@ -1,0 +1,56 @@
+package exec
+
+import "sgxbench/internal/sgx"
+
+// ReplayQueue is the deterministic contention simulator behind Fig 11.
+//
+// A work-stealing join distributes per-partition tasks through a shared
+// queue. The timing of the tasks themselves comes from the engine (the
+// caller measures each task's duration under static assignment); this
+// replay then computes the wall time of dynamically scheduling those
+// tasks over `threads` workers through a queue protected by the given
+// synchronization model.
+//
+// The model: each pop is a critical section of q.PopCycles. If a worker
+// arrives while the lock is held it additionally suffers q.SleepLatency
+// before it can proceed (futex wake or enclave re-entry), and the unlock
+// that hands over a contended lock extends the owner's hold time by
+// q.HoldExtension (the SGX SDK mutex performs OCALL/ECALL transitions
+// with the mutex still held, Section 4.4).
+func ReplayQueue(taskCycles []uint64, threads int, q sgx.QueueModel) uint64 {
+	if threads < 1 {
+		threads = 1
+	}
+	clocks := make([]uint64, threads)
+	var lockFree uint64
+	next := 0
+	for next < len(taskCycles) {
+		// The earliest-available worker pops the next task.
+		w := 0
+		for i := 1; i < threads; i++ {
+			if clocks[i] < clocks[w] {
+				w = i
+			}
+		}
+		arrive := clocks[w]
+		contended := arrive < lockFree
+		acquire := arrive
+		if contended {
+			acquire = lockFree + q.SleepLatency
+		}
+		hold := q.PopCycles
+		if contended {
+			hold += q.HoldExtension
+		}
+		lockFree = acquire + hold
+		clocks[w] = acquire + hold + taskCycles[next]
+		next++
+	}
+	var wall uint64
+	for _, c := range clocks {
+		if c > wall {
+			wall = c
+		}
+	}
+	return wall
+}

@@ -1,0 +1,160 @@
+package join
+
+import (
+	"sgxbench/internal/core"
+	"sgxbench/internal/engine"
+	"sgxbench/internal/mem"
+)
+
+// scratch is a per-thread reusable hash area for in-cache partition joins
+// (the join method RHO and CrkJoin share, [3, 26]). Buckets hold
+// 1-based row indexes into the current R partition; chains run through
+// next. An epoch counter makes clearing free; the timed cost of the
+// (tiny) bucket memset is charged explicitly.
+type scratch struct {
+	buckets *mem.U32Buf
+	epoch   *mem.U32Buf // real epoch tags (no timing: part of buckets line)
+	next    *mem.U32Buf
+	gen     uint32
+}
+
+func newScratch(env *core.Env, maxPartRows int) *scratch {
+	nb := nextPow2(maxPartRows)
+	if nb < 16 {
+		nb = 16
+	}
+	return &scratch{
+		buckets: env.Space.AllocU32("join.buckets", nb, env.DataRegion()),
+		epoch:   env.Space.AllocU32("join.epoch", nb, env.DataRegion()),
+		next:    env.Space.AllocU32("join.next", maxPartRows+1, env.DataRegion()),
+	}
+}
+
+// joinPartition builds a hash table over R[rLo:rHi] and probes it with
+// S[sLo:sHi]. It returns the number of matches; build/probe cycle splits
+// are accumulated into the provided counters. Both loops exist in scalar
+// and unroll+reorder (optimized) forms: the hash-table insert is a
+// data-dependent write (bucket head update at a hash-derived address),
+// so the scalar form pays the full SSB serialization inside enclaves even
+// though every access hits the cache (Table 2, "data-dependent write,
+// < LLC").
+func joinPartition(t *engine.Thread, R *mem.U64Buf, rLo, rHi int, S *mem.U64Buf, sLo, sHi int,
+	sc *scratch, optimized bool, out *outWriter, buildCycles, probeCycles *uint64) uint64 {
+
+	rLen := rHi - rLo
+	if rLen <= 0 {
+		if probeCycles != nil {
+			// Still scan S to count zero matches (no table: no matches).
+		}
+		return 0
+	}
+	nb := nextPow2(rLen)
+	if nb < 16 {
+		nb = 16
+	}
+	if nb > sc.buckets.Len() {
+		nb = sc.buckets.Len()
+	}
+	bits := log2(nb)
+	sc.gen++
+
+	// --- Build ---
+	start := t.Cycle()
+	insert := func(i int, tup uint64, tok engine.Tok) {
+		h := hashIdx(mem.TupleKey(tup), bits)
+		hTok := engine.After(tok, hashCost)
+		headTok := t.Load(&sc.buckets.Buffer, sc.buckets.Off(int(h)), 4, hTok)
+		var head uint32
+		if sc.epoch.D[h] == sc.gen {
+			head = sc.buckets.D[h]
+		}
+		row := i - rLo + 1
+		engine.StoreU32(t, sc.next, row, head, 0, headTok)
+		sc.buckets.D[h] = uint32(row)
+		sc.epoch.D[h] = sc.gen
+		// Bucket head update: store address derived from the loaded key.
+		t.Store(&sc.buckets.Buffer, sc.buckets.Off(int(h)), 4, hTok, engine.After(headTok, 1))
+	}
+	if !optimized {
+		for i := rLo; i < rHi; i++ {
+			tup, tok := engine.LoadU64(t, R, i, 0)
+			insert(i, tup, tok)
+		}
+	} else {
+		const u = 8
+		var tups [u]uint64
+		var toks [u]engine.Tok
+		i := rLo
+		for ; i+u <= rHi; i += u {
+			for j := 0; j < u; j++ {
+				tups[j], toks[j] = engine.LoadU64(t, R, i+j, 0)
+			}
+			for j := 0; j < u; j++ {
+				insert(i+j, tups[j], toks[j])
+			}
+		}
+		for ; i < rHi; i++ {
+			tup, tok := engine.LoadU64(t, R, i, 0)
+			insert(i, tup, tok)
+		}
+	}
+	t.Drain()
+	mid := t.Cycle()
+	if buildCycles != nil {
+		*buildCycles += mid - start
+	}
+
+	// --- Probe ---
+	var matches uint64
+	probeOne := func(tup uint64, tok engine.Tok) {
+		key := mem.TupleKey(tup)
+		h := hashIdx(key, bits)
+		hTok := engine.After(tok, hashCost)
+		chainTok := t.Load(&sc.buckets.Buffer, sc.buckets.Off(int(h)), 4, hTok)
+		var row uint32
+		if sc.epoch.D[h] == sc.gen {
+			row = sc.buckets.D[h]
+		}
+		for row != 0 {
+			rTok := t.Load(&R.Buffer, R.Off(rLo+int(row)-1), 8, chainTok)
+			t.Work(1)
+			rt := R.D[rLo+int(row)-1]
+			if mem.TupleKey(rt) == key {
+				matches++
+				if out != nil {
+					out.append(t, mem.MakeTuple(mem.TuplePayload(tup), mem.TuplePayload(rt)), rTok)
+				}
+			}
+			chainTok = t.Load(&sc.next.Buffer, sc.next.Off(int(row)), 4, rTok)
+			row = sc.next.D[row]
+		}
+	}
+	if !optimized {
+		for j := sLo; j < sHi; j++ {
+			tup, tok := engine.LoadU64(t, S, j, 0)
+			probeOne(tup, tok)
+		}
+	} else {
+		const u = 8
+		var tups [u]uint64
+		var toks [u]engine.Tok
+		j := sLo
+		for ; j+u <= sHi; j += u {
+			for l := 0; l < u; l++ {
+				tups[l], toks[l] = engine.LoadU64(t, S, j+l, 0)
+			}
+			for l := 0; l < u; l++ {
+				probeOne(tups[l], toks[l])
+			}
+		}
+		for ; j < sHi; j++ {
+			tup, tok := engine.LoadU64(t, S, j, 0)
+			probeOne(tup, tok)
+		}
+	}
+	t.Drain()
+	if probeCycles != nil {
+		*probeCycles += t.Cycle() - mid
+	}
+	return matches
+}

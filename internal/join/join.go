@@ -1,0 +1,158 @@
+// Package join implements the five parallel equi-join algorithms the
+// paper benchmarks (Section 4):
+//
+//   - PHT: the no-partitioning Parallel Hash Table join (Blanas et al.),
+//     a shared chained hash table built and probed by all threads.
+//   - RHO: the Radix Hash Optimized join — two-pass parallel radix
+//     partitioning into cache-sized partitions, then in-cache build and
+//     probe per partition. The Optimized flag enables the paper's
+//     unroll + reorder kernels (Section 4.2).
+//   - MWAY: multi-way sort-merge join — parallel chunk sorting, multi-way
+//     merge, then a linear merge-join pass.
+//   - INL: index nested loop join over a pre-built B+-tree.
+//   - CrkJoin: the SGXv1-optimized cracking join (Maliszewski et al.) with
+//     its bit-at-a-time in-place partitioning and thread-doubling
+//     schedule, included to show that SGXv1 designs do not carry over.
+//
+// All algorithms return bit-identical match counts (and materialized
+// outputs, when requested) in every execution setting: the engine models
+// time, never values.
+package join
+
+import (
+	"fmt"
+
+	"sgxbench/internal/core"
+	"sgxbench/internal/engine"
+	"sgxbench/internal/exec"
+	"sgxbench/internal/rel"
+)
+
+// Options configures a join run.
+type Options struct {
+	// Threads is the number of worker threads (default 1).
+	Threads int
+	// Optimized enables the unroll + reorder kernels (the paper's "O"
+	// settings in Figures 6 and 9).
+	Optimized bool
+	// Materialize writes output tuples (probe payload, build payload)
+	// instead of only counting matches (Section 4.4, Fig 12).
+	Materialize bool
+	// NodeOf optionally pins thread i to a socket (NUMA experiments).
+	NodeOf func(i int) int
+	// CollectTasks records per-task durations of the in-cache join phase
+	// (RHO only), enabling the Fig 11 queue-contention replay.
+	CollectTasks bool
+	// RadixBits overrides RHO's automatic radix-bit choice (0 = auto).
+	// Larger values force smaller partitions — used to create queue
+	// contention for the Fig 11 experiment.
+	RadixBits int
+}
+
+func (o Options) threads() int {
+	if o.Threads < 1 {
+		return 1
+	}
+	return o.Threads
+}
+
+// Result reports a completed join.
+type Result struct {
+	Algorithm  string
+	Matches    uint64
+	WallCycles uint64
+	// Phases is the barrier-phase breakdown (names depend on algorithm;
+	// RHO: Hist1, Copy1, Hist2, Copy2, Join).
+	Phases []exec.PhaseStats
+	// BuildCycles/ProbeCycles split the in-cache join phase of RHO and
+	// CrkJoin (aggregated across threads), and the build/probe phases of
+	// PHT; used for the Fig 4/6 breakdowns.
+	BuildCycles uint64
+	ProbeCycles uint64
+	// TaskCycles are per-partition join task durations when
+	// Options.CollectTasks is set.
+	TaskCycles []uint64
+	// Output holds materialized output rows per thread (when requested).
+	Output [][]uint64
+	// Stats aggregates engine counters over all phases.
+	Stats engine.Stats
+}
+
+// Throughput returns the paper's join throughput metric: the sum of the
+// input cardinalities divided by the wall time.
+func (r *Result) Throughput(env *core.Env, nR, nS int) float64 {
+	return env.Throughput(nR+nS, r.WallCycles)
+}
+
+// Algorithm is one join implementation.
+type Algorithm interface {
+	Name() string
+	Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Result, error)
+}
+
+// ByName returns the algorithm with the given paper name.
+func ByName(name string) (Algorithm, error) {
+	for _, a := range All() {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("join: unknown algorithm %q", name)
+}
+
+// All returns the five algorithms in the paper's Figure 3 order.
+func All() []Algorithm {
+	return []Algorithm{NewPHT(), NewRHO(), NewMWAY(), NewINL(), NewCrk()}
+}
+
+// hashKey is the join-key hash used by the hash-based algorithms:
+// a multiplicative (Fibonacci) hash, cheap and well-distributed.
+func hashKey(k uint32) uint32 { return k * 2654435761 }
+
+// hashIdx maps a key to a table of 2^bits buckets using the *high* bits
+// of the multiplicative hash. Using high bits is essential inside radix
+// partitions: the low key bits are constant within a partition (they are
+// the radix digits), so low-bit indexing would collapse every partition
+// into a couple of buckets.
+func hashIdx(k uint32, bits uint) uint32 { return hashKey(k) >> (32 - bits) }
+
+// log2 returns floor(log2(n)) for a power-of-two n.
+func log2(n int) uint {
+	var b uint
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// hashCost is the dataflow latency from key to hash/bucket index.
+const hashCost = 2
+
+// nextPow2 returns the next power of two >= n (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// chunk splits n items over workers; returns [lo, hi) for worker id.
+func chunk(n, workers, id int) (int, int) {
+	per := n / workers
+	rem := n % workers
+	lo := id*per + min(id, rem)
+	hi := lo + per
+	if id < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

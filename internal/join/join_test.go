@@ -1,0 +1,117 @@
+package join
+
+import (
+	"sort"
+	"testing"
+
+	"sgxbench/internal/core"
+	"sgxbench/internal/platform"
+	"sgxbench/internal/rel"
+)
+
+func testEnv(s core.Setting) *core.Env {
+	return core.NewEnv(core.Options{
+		Plat:    platform.XeonGold6326().Scaled(256),
+		Setting: s,
+	})
+}
+
+// TestJoinCorrectness checks every algorithm against the reference count
+// across settings, sizes and thread counts. Results must be identical in
+// every execution mode: the timing layer cannot influence values.
+func TestJoinCorrectness(t *testing.T) {
+	sizes := []struct{ nR, nS int }{
+		{100, 400},
+		{1000, 4000},
+		{5000, 20000},
+	}
+	for _, alg := range All() {
+		for _, sz := range sizes {
+			for _, threads := range []int{1, 4} {
+				for _, setting := range []core.Setting{core.PlainCPU, core.SGXDiE} {
+					env := testEnv(setting)
+					build, probe := rel.GenFKPair(env.Space, sz.nR, sz.nS, env.DataRegion(), 42)
+					want := rel.ReferenceJoinCount(build, probe)
+					res, err := alg.Run(env, build, probe, Options{Threads: threads})
+					if err != nil {
+						t.Fatalf("%s: %v", alg.Name(), err)
+					}
+					if res.Matches != want {
+						t.Errorf("%s nR=%d nS=%d threads=%d %s: matches=%d want %d",
+							alg.Name(), sz.nR, sz.nS, threads, setting, res.Matches, want)
+					}
+					if res.WallCycles == 0 {
+						t.Errorf("%s: zero wall cycles", alg.Name())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestJoinOptimizedCorrectness checks the unroll+reorder variants return
+// the same results.
+func TestJoinOptimizedCorrectness(t *testing.T) {
+	for _, alg := range All() {
+		env := testEnv(core.SGXDiE)
+		build, probe := rel.GenFKPair(env.Space, 3000, 12000, env.DataRegion(), 7)
+		want := rel.ReferenceJoinCount(build, probe)
+		res, err := alg.Run(env, build, probe, Options{Threads: 4, Optimized: true})
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if res.Matches != want {
+			t.Errorf("%s optimized: matches=%d want %d", alg.Name(), res.Matches, want)
+		}
+	}
+}
+
+// TestJoinMaterialization checks materialized outputs against the
+// reference pairs (as multisets).
+func TestJoinMaterialization(t *testing.T) {
+	for _, alg := range All() {
+		env := testEnv(core.PlainCPU)
+		build, probe := rel.GenFKPair(env.Space, 500, 2000, env.DataRegion(), 13)
+		want := rel.ReferenceJoinPairs(build, probe)
+		res, err := alg.Run(env, build, probe, Options{Threads: 4, Materialize: true})
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		var got []uint64
+		for _, rows := range res.Output {
+			got = append(got, rows...)
+		}
+		if len(got) != len(want) {
+			t.Errorf("%s: materialized %d rows, want %d", alg.Name(), len(got), len(want))
+			continue
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("%s: row %d = %x, want %x", alg.Name(), i, got[i], want[i])
+				break
+			}
+		}
+	}
+}
+
+// TestJoinDeterminism: single-threaded runs must produce identical wall
+// cycles on repetition (the simulation is deterministic).
+func TestJoinDeterminism(t *testing.T) {
+	for _, alg := range All() {
+		run := func() uint64 {
+			env := testEnv(core.SGXDiE)
+			build, probe := rel.GenFKPair(env.Space, 2000, 8000, env.DataRegion(), 99)
+			res, err := alg.Run(env, build, probe, Options{Threads: 1})
+			if err != nil {
+				t.Fatalf("%s: %v", alg.Name(), err)
+			}
+			return res.WallCycles
+		}
+		a, b := run(), run()
+		if a != b {
+			t.Errorf("%s: nondeterministic wall cycles %d vs %d", alg.Name(), a, b)
+		}
+	}
+}

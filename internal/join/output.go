@@ -1,0 +1,46 @@
+package join
+
+import (
+	"sgxbench/internal/core"
+	"sgxbench/internal/engine"
+	"sgxbench/internal/mem"
+)
+
+// outChunkRows is the number of rows per materialization chunk. Output
+// memory is claimed chunk-wise during the join, which is exactly the
+// allocation pattern whose cost Fig 12 studies: with a pre-allocated /
+// statically sized enclave the claims are free, with dynamic allocation
+// each chunk faults its pages in, and with EDMM each page commit runs the
+// expensive enclave resize protocol.
+const outChunkRows = 1 << 16
+
+// outWriter materializes join output tuples for one worker thread.
+type outWriter struct {
+	env    *core.Env
+	id     int
+	chunks []*mem.U64Buf
+	cur    *mem.U64Buf
+	pos    int
+	rows   []uint64
+}
+
+func newOutWriter(env *core.Env, id int) *outWriter {
+	return &outWriter{env: env, id: id}
+}
+
+// append writes one output row; dep is the token the row's fields were
+// loaded at (the store's data dependency — the address is a sequential
+// cursor and thus statically known).
+func (w *outWriter) append(t *engine.Thread, row uint64, dep engine.Tok) {
+	if w.cur == nil || w.pos == w.cur.Len() {
+		w.cur = w.env.Alloc.AllocU64(t, "out", outChunkRows)
+		w.chunks = append(w.chunks, w.cur)
+		w.pos = 0
+	}
+	engine.StoreU64(t, w.cur, w.pos, row, 0, dep)
+	w.rows = append(w.rows, row)
+	w.pos++
+}
+
+// result returns all rows written by this worker.
+func (w *outWriter) result() []uint64 { return w.rows }

@@ -1,0 +1,235 @@
+package join
+
+import (
+	"sync"
+
+	"sgxbench/internal/core"
+	"sgxbench/internal/engine"
+	"sgxbench/internal/mem"
+	"sgxbench/internal/rel"
+)
+
+// PHT is the Parallel Hash Table join (Blanas et al. [5]): all threads
+// build one shared hash table over the smaller input, latching buckets,
+// then probe it in parallel. It performs no partitioning, so with tables
+// exceeding the LLC every bucket access is a random DRAM access — the
+// behaviour Fig 4 dissects.
+//
+// The bucket layout follows TEEBench: one cache line per bucket with a
+// small count, a latch, inline tuple slots and an overflow chain. The
+// insert pattern "load count, store tuple at bucket[count]" makes the
+// store address depend on a just-loaded value; under the SSB mitigation
+// that load-to-store-address chain blocks all younger loads, which is why
+// the build phase slows down far more (up to ~9x) than the ~3x the pure
+// random-access overhead would explain (Sections 4.1-4.2).
+type PHT struct{}
+
+// NewPHT returns the PHT algorithm.
+func NewPHT() *PHT { return &PHT{} }
+
+// Name returns the paper's name for the algorithm.
+func (*PHT) Name() string { return "PHT" }
+
+// bucketBytes is the size of one bucket: two cache lines — a header line
+// (latch, count, first slots) and a slot line. A probe therefore chases
+// two dependent loads (header, then slots), as in chained tables.
+const bucketBytes = 128
+
+// inlineSlots is the number of tuples stored inline before overflowing.
+const inlineSlots = 8
+
+// phtTable is the shared hash table. Real values live in the per-bucket
+// slices (guarded by striped locks); timing flows through the line-sized
+// bucket buffer and the overflow arena.
+type phtTable struct {
+	bits     uint
+	buckets  mem.Buffer // nBuckets cache lines (counts + inline slots)
+	overflow mem.Buffer // overflow entry arena (timing only)
+	locks    []sync.Mutex
+	rows     [][]uint64 // real contents per bucket
+	ovCount  []int      // overflow entries appended per thread (timing cursor)
+}
+
+const lockStripes = 1024
+
+func newPHTTable(env *core.Env, nBuild, threads int) *phtTable {
+	nBuckets := nextPow2((nBuild + 1) / 2)
+	ht := &phtTable{
+		bits:     log2(nBuckets),
+		buckets:  env.Alloc.Raw(nil, "pht.buckets", int64(nBuckets)*bucketBytes),
+		overflow: env.Alloc.Raw(nil, "pht.overflow", int64(nBuild+1)*16),
+		locks:    make([]sync.Mutex, lockStripes),
+		rows:     make([][]uint64, nBuckets),
+		ovCount:  make([]int, threads),
+	}
+	return ht
+}
+
+func (h *phtTable) bucketOf(key uint32) int { return int(hashIdx(key, h.bits)) }
+
+// insert adds one tuple: latch the bucket, read its count, store the
+// tuple at the count-derived slot, bump the count.
+func (h *phtTable) insert(t *engine.Thread, id int, tup uint64, keyTok engine.Tok) {
+	b := h.bucketOf(mem.TupleKey(tup))
+	hTok := engine.After(keyTok, hashCost)
+	base := int64(b) * bucketBytes
+
+	// Latch acquire (uncontended fast path: one CAS on the bucket line).
+	latchTok := t.CAS(&h.buckets, base, hTok)
+	// Count load: random access, address derived from the key's hash.
+	cntTok := t.Load(&h.buckets, base, 4, latchTok)
+	h.locks[b&(lockStripes-1)].Lock()
+	cnt := len(h.rows[b])
+	h.rows[b] = append(h.rows[b], tup)
+	h.locks[b&(lockStripes-1)].Unlock()
+	slotTok := engine.After(cntTok, 1)
+	if cnt < inlineSlots {
+		// Tuple store at bucket[count]: store address depends on the
+		// loaded count — the SSB-sensitive pattern. Slots beyond the
+		// header line live on the bucket's second line.
+		slotOff := base + 8 + int64(cnt)*8
+		if cnt >= 6 {
+			slotOff = base + 64 + int64(cnt-6)*8
+		}
+		t.Store(&h.buckets, slotOff, 8, slotTok, keyTok)
+	} else {
+		// Overflow entry: append to the arena and link it.
+		pos := h.ovCount[id]
+		h.ovCount[id] = pos + 1
+		off := int64(id)*16 + int64(pos*16*len(h.ovCount)) // per-thread interleaved arena
+		if off+16 > h.overflow.Size {
+			off = h.overflow.Size - 16
+		}
+		t.Store(&h.overflow, off, 8, slotTok, keyTok)
+		t.Store(&h.buckets, base+8+int64(inlineSlots)*8, 8, slotTok, 0) // chain pointer
+	}
+	// Count update + latch release share the bucket line.
+	t.Store(&h.buckets, base, 4, hTok, slotTok)
+}
+
+// probe returns the number of matches for key and appends output rows.
+func (h *phtTable) probe(t *engine.Thread, tup uint64, keyTok engine.Tok, out *outWriter) (uint64, engine.Tok) {
+	key := mem.TupleKey(tup)
+	b := h.bucketOf(key)
+	hTok := engine.After(keyTok, hashCost)
+	base := int64(b) * bucketBytes
+	// Header line, then the dependent slot line.
+	hdrTok := t.Load(&h.buckets, base, 8, hTok)
+	lineTok := t.Load(&h.buckets, base+64, 8, engine.After(hdrTok, 1))
+	rows := h.rows[b]
+	var matches uint64
+	scanTok := lineTok
+	for i, r := range rows {
+		if i > 0 && i%inlineSlots == 0 {
+			// Overflow chain: dependent load per spilled entry group.
+			scanTok = t.Load(&h.overflow, int64(i%32)*16, 8, scanTok)
+		}
+		t.Work(1) // key compare
+		if mem.TupleKey(r) == key {
+			matches++
+			if out != nil {
+				out.append(t, mem.MakeTuple(mem.TuplePayload(tup), mem.TuplePayload(r)), scanTok)
+			}
+		}
+	}
+	return matches, scanTok
+}
+
+// Run executes the join.
+func (p *PHT) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Result, error) {
+	T := opt.threads()
+	g := env.NewGroup(T, opt.NodeOf)
+	ht := newPHTTable(env, build.N(), T)
+	res := &Result{Algorithm: p.Name()}
+
+	unroll := 1
+	if opt.Optimized {
+		unroll = 8
+	}
+
+	bp := g.Phase("Build", func(t *engine.Thread, id int) {
+		lo, hi := chunk(build.N(), T, id)
+		if unroll == 1 {
+			for i := lo; i < hi; i++ {
+				tup, tok := engine.LoadU64(t, build.Tup, i, 0)
+				ht.insert(t, id, tup, tok)
+			}
+			return
+		}
+		// Optimized build: group the key loads and hash computations of a
+		// batch ahead of the count-dependent stores (Section 4.2 applied
+		// to PHT, Fig 9 "PHT O").
+		toks := make([]engine.Tok, unroll)
+		tups := make([]uint64, unroll)
+		i := lo
+		for ; i+unroll <= hi; i += unroll {
+			for j := 0; j < unroll; j++ {
+				tups[j], toks[j] = engine.LoadU64(t, build.Tup, i+j, 0)
+			}
+			for j := 0; j < unroll; j++ {
+				ht.insert(t, id, tups[j], toks[j])
+			}
+		}
+		for ; i < hi; i++ {
+			tup, tok := engine.LoadU64(t, build.Tup, i, 0)
+			ht.insert(t, id, tup, tok)
+		}
+	})
+	res.BuildCycles = bp.WallCycles
+
+	counts := make([]uint64, T)
+	outs := make([]*outWriter, T)
+	pp := g.Phase("Probe", func(t *engine.Thread, id int) {
+		lo, hi := chunk(probe.N(), T, id)
+		var out *outWriter
+		if opt.Materialize {
+			out = newOutWriter(env, id)
+			outs[id] = out
+		}
+		var local uint64
+		if unroll == 1 {
+			for i := lo; i < hi; i++ {
+				tup, tok := engine.LoadU64(t, probe.Tup, i, 0)
+				m, _ := ht.probe(t, tup, tok, out)
+				local += m
+			}
+		} else {
+			toks := make([]engine.Tok, unroll)
+			tups := make([]uint64, unroll)
+			i := lo
+			for ; i+unroll <= hi; i += unroll {
+				for j := 0; j < unroll; j++ {
+					tups[j], toks[j] = engine.LoadU64(t, probe.Tup, i+j, 0)
+				}
+				for j := 0; j < unroll; j++ {
+					m, _ := ht.probe(t, tups[j], toks[j], out)
+					local += m
+				}
+			}
+			for ; i < hi; i++ {
+				tup, tok := engine.LoadU64(t, probe.Tup, i, 0)
+				m, _ := ht.probe(t, tup, tok, out)
+				local += m
+			}
+		}
+		counts[id] = local
+	})
+	res.ProbeCycles = pp.WallCycles
+
+	g.AdvanceClock(env.Alloc.SerialCycles())
+	for _, c := range counts {
+		res.Matches += c
+	}
+	if opt.Materialize {
+		res.Output = make([][]uint64, T)
+		for i, w := range outs {
+			if w != nil {
+				res.Output[i] = w.result()
+			}
+		}
+	}
+	res.Phases = g.Phases()
+	res.WallCycles = g.Clock()
+	res.Stats = g.TotalStats()
+	return res, nil
+}

@@ -1,0 +1,138 @@
+package kernels
+
+import (
+	"testing"
+
+	"sgxbench/internal/engine"
+	"sgxbench/internal/mem"
+	"sgxbench/internal/platform"
+	"sgxbench/internal/rng"
+)
+
+func newThread(mode engine.Mode, epc bool) (*engine.Thread, *mem.Space, mem.Region) {
+	plat := platform.XeonGold6326().Scaled(32)
+	sp := mem.NewSpace(plat.Sockets)
+	kind := mem.Untrusted
+	if epc {
+		kind = mem.EPC
+	}
+	reg := mem.Region{Node: 0, Kind: kind}
+	t := engine.NewThread(engine.Config{Plat: plat, Mode: mode, Costs: engine.DefaultSGXCosts(), Node: 0}, 0)
+	return t, sp, reg
+}
+
+func fillTuples(b *mem.U64Buf, seed uint64) {
+	r := rng.NewXorShift(seed)
+	for i := range b.D {
+		b.D[i] = mem.MakeTuple(r.Uint32(), uint32(i))
+	}
+}
+
+// histRun measures one full histogram pass and returns cycles.
+func histRun(mode engine.Mode, epc bool, n, bins int, cfg HistConfig) uint64 {
+	t, sp, reg := newThread(mode, epc)
+	data := sp.AllocU64("data", n, reg)
+	hist := sp.AllocU32("hist", bins, reg)
+	fillTuples(data, 7)
+	if cfg.Spill == nil {
+		cfg.Spill = sp.AllocU32("spill", 64, reg)
+	}
+	start := t.Cycle()
+	Histogram(t, data, 0, n, hist, 0, cfg)
+	t.Drain()
+	return t.Cycle() - start
+}
+
+// TestCalibrationHistogramSSB checks the core finding of Section 4.2:
+// the scalar histogram is ~2-3.5x slower with the SSB mitigation, and the
+// unroll+reorder optimization brings it within ~35% of plain.
+func TestCalibrationHistogramSSB(t *testing.T) {
+	const n, bins = 1 << 18, 32
+	cfgScalar := HistConfig{Shift: 0, Bits: 5, Unroll: 1}
+	plain := histRun(engine.PlainCPU, false, n, bins, cfgScalar)
+	mit := histRun(engine.PlainCPUM, false, n, bins, cfgScalar)
+	die := histRun(engine.Enclave, true, n, bins, cfgScalar)
+
+	rMit := float64(mit) / float64(plain)
+	rDie := float64(die) / float64(plain)
+	t.Logf("scalar: plain=%d mitigated=%d (%.2fx) die=%d (%.2fx)", plain, mit, rMit, die, rDie)
+	if rMit < 1.8 || rMit > 4.0 {
+		t.Errorf("scalar mitigation slowdown %.2fx outside [1.8, 4.0]", rMit)
+	}
+	if rDie < rMit*0.9 {
+		t.Errorf("DiE (%.2fx) should be at least the mitigation slowdown (%.2fx)", rDie, rMit)
+	}
+
+	cfgOpt := HistConfig{Shift: 0, Bits: 5, Unroll: ScalarRegBudget}
+	plainO := histRun(engine.PlainCPU, false, n, bins, cfgOpt)
+	dieO := histRun(engine.Enclave, true, n, bins, cfgOpt)
+	rOpt := float64(dieO) / float64(plainO)
+	t.Logf("unrolled: plain=%d die=%d (%.2fx)", plainO, dieO, rOpt)
+	if rOpt > 1.35 {
+		t.Errorf("optimized DiE/plain %.2fx should be <= 1.35 (paper: <20%%)", rOpt)
+	}
+	if dieO*2 > die {
+		t.Errorf("optimization should at least halve in-enclave histogram time (die=%d dieO=%d)", die, dieO)
+	}
+}
+
+// TestCalibrationUnrollSweep checks the Fig 8 shape: runtime improves up
+// to the register budget and degrades once spilling starts.
+func TestCalibrationUnrollSweep(t *testing.T) {
+	const n, bins = 1 << 17, 32
+	run := func(u int) uint64 {
+		return histRun(engine.Enclave, true, n, bins, HistConfig{Bits: 5, Unroll: u})
+	}
+	u1, u8, u9, u16 := run(1), run(8), run(ScalarRegBudget), run(16)
+	t.Logf("unroll sweep: u1=%d u8=%d u9=%d u16=%d", u1, u8, u9, u16)
+	if !(u9 < u1) {
+		t.Errorf("unroll 9 (%d) should beat scalar (%d)", u9, u1)
+	}
+	if !(u9 <= u8) {
+		t.Errorf("unroll 9 (%d) should be <= unroll 8 (%d)", u9, u8)
+	}
+	if !(u16 > u9) {
+		t.Errorf("spilling at unroll 16 (%d) should be slower than 9 (%d)", u16, u9)
+	}
+}
+
+// TestCalibrationRandomAccess checks the Fig 5 shape: no EPC overhead in
+// cache, roughly 1.5-3.5x latency for DRAM-sized arrays.
+func TestCalibrationRandomAccess(t *testing.T) {
+	run := func(mode engine.Mode, epc bool, size int64) uint64 {
+		th, sp, reg := newThread(mode, epc)
+		buf := sp.Raw("arr", size, reg)
+		// warm up
+		RandomAccess(th, buf, 1<<12, false, 3)
+		return RandomAccess(th, buf, 1<<15, false, 5)
+	}
+	small := int64(16 << 10) // fits L1/L2 at scale 32
+	big := int64(8 << 20)    // 8 MiB at scale 32 ~ 256 MB full size
+	rSmall := float64(run(engine.Enclave, true, small)) / float64(run(engine.PlainCPU, false, small))
+	rBig := float64(run(engine.Enclave, true, big)) / float64(run(engine.PlainCPU, false, big))
+	t.Logf("random read ratio: in-cache=%.2fx dram=%.2fx", rSmall, rBig)
+	if rSmall > 1.15 {
+		t.Errorf("in-cache random access should have no EPC overhead, got %.2fx", rSmall)
+	}
+	if rBig < 1.4 || rBig > 3.5 {
+		t.Errorf("DRAM random access overhead %.2fx outside [1.4, 3.5]", rBig)
+	}
+}
+
+// TestCalibrationStreaming checks Fig 13's core result: sequential scans
+// pay only ~3% in the enclave.
+func TestCalibrationStreaming(t *testing.T) {
+	run := func(mode engine.Mode, epc bool) uint64 {
+		th, sp, reg := newThread(mode, epc)
+		buf := sp.Raw("col", 8<<20, reg)
+		StreamRead(th, buf, 0, 1<<20) // warm-up pass to train nothing in particular
+		return StreamRead(th, buf, 0, 8<<20)
+	}
+	plain := run(engine.PlainCPU, false)
+	die := run(engine.Enclave, true)
+	ratio := float64(die) / float64(plain)
+	t.Logf("stream read: plain=%d die=%d ratio=%.3f", plain, die, ratio)
+	if ratio < 1.0 || ratio > 1.10 {
+		t.Errorf("streaming EPC overhead should be ~3%%, got %.1f%%", (ratio-1)*100)
+	}
+}

@@ -1,0 +1,62 @@
+package kernels
+
+import (
+	"sgxbench/internal/engine"
+	"sgxbench/internal/mem"
+	"sgxbench/internal/rng"
+)
+
+// RandomAccess is the Section 4.1 micro-benchmark: read or write 8-byte
+// integers at random positions of an array, positions produced by a
+// linear congruential generator (kept in registers, so the accesses are
+// address-independent of one another and overlap up to the MLP limit).
+// It returns the consumed cycles.
+func RandomAccess(t *engine.Thread, buf mem.Buffer, ops int, write bool, seed uint64) uint64 {
+	start := t.Cycle()
+	lcg := rng.NewLCG(seed)
+	slots := uint64(buf.Size / 8)
+	if slots == 0 {
+		slots = 1
+	}
+	for i := 0; i < ops; i++ {
+		off := int64(lcg.Uint64n(slots)) * 8
+		t.Work(1) // LCG advance (mul+add, pipelined)
+		if write {
+			t.Store(&buf, off, 8, 0, 0)
+		} else {
+			t.Load(&buf, off, 8, 0)
+		}
+	}
+	t.Drain()
+	return t.Cycle() - start
+}
+
+// PointerChase models a dependent random-access chain (each address
+// derived from the previous load), the worst case for MLP. Used by
+// ablation benchmarks to contrast with the independent-access pattern.
+func PointerChase(t *engine.Thread, buf mem.Buffer, ops int, seed uint64) uint64 {
+	start := t.Cycle()
+	lcg := rng.NewLCG(seed)
+	slots := uint64(buf.Size / 8)
+	if slots == 0 {
+		slots = 1
+	}
+	var dep engine.Tok
+	for i := 0; i < ops; i++ {
+		off := int64(lcg.Uint64n(slots)) * 8
+		dep = t.Load(&buf, off, 8, dep)
+	}
+	t.Drain()
+	return t.Cycle() - start
+}
+
+// StreamRead reads n bytes sequentially (line-granular vector loads),
+// the access pattern of a column scan. Returns consumed cycles.
+func StreamRead(t *engine.Thread, buf mem.Buffer, off, n int64) uint64 {
+	start := t.Cycle()
+	for o := off; o < off+n; o += 64 {
+		engine.LoadLine(t, &buf, o, 0)
+	}
+	t.Drain()
+	return t.Cycle() - start
+}

@@ -1,0 +1,88 @@
+package kernels
+
+import (
+	"sgxbench/internal/engine"
+	"sgxbench/internal/mem"
+)
+
+// ScatterConfig configures a radix partition copy (the paper's "Copy"
+// phases in Fig 6).
+type ScatterConfig struct {
+	Shift  uint
+	Bits   uint
+	Unroll int // 1 = scalar
+}
+
+// Scatter copies tuples data[lo:hi] to their partitions in out, advancing
+// the per-partition write cursors cur[curBase+p]. Cursor values are byte
+// element indexes into out. This is the copy phase of radix partitioning:
+// the destination address of every store is derived from the just-loaded
+// key via the cursor — a dependent load/store pattern the paper shows can
+// be improved but not fully cured by unrolling (Section 4.2, Fig 6).
+func Scatter(t *engine.Thread, data *mem.U64Buf, lo, hi int, out *mem.U64Buf, cur *mem.U32Buf, curBase int, cfg ScatterConfig) {
+	if cfg.Unroll <= 1 {
+		scatterScalar(t, data, lo, hi, out, cur, curBase, cfg)
+		return
+	}
+	scatterUnrolled(t, data, lo, hi, out, cur, curBase, cfg)
+}
+
+func scatterScalar(t *engine.Thread, data *mem.U64Buf, lo, hi int, out *mem.U64Buf, cur *mem.U32Buf, curBase int, cfg ScatterConfig) {
+	mask := uint32(1)<<cfg.Bits - 1
+	for i := lo; i < hi; i++ {
+		tup, tok := engine.LoadU64(t, data, i, 0)
+		p := int((mem.TupleKey(tup) >> cfg.Shift) & mask)
+		pTok := engine.After(tok, keyCompute)
+		pos, posTok := engine.LoadU32(t, cur, curBase+p, pTok)
+		// The tuple store's address comes from the cursor load.
+		engine.StoreU64(t, out, int(pos), tup, posTok, tok)
+		engine.StoreU32(t, cur, curBase+p, pos+1, pTok, engine.After(posTok, 1))
+	}
+}
+
+// scatterUnrolled groups the key loads and cursor reads of a batch before
+// dispatching the tuple stores, shortening (but, unlike the histogram,
+// not eliminating) the store→load dependences: the cursor increments are
+// themselves loads of to-be-stored positions.
+func scatterUnrolled(t *engine.Thread, data *mem.U64Buf, lo, hi int, out *mem.U64Buf, cur *mem.U32Buf, curBase int, cfg ScatterConfig) {
+	u := cfg.Unroll
+	mask := uint32(1)<<cfg.Bits - 1
+	tups := make([]uint64, u)
+	parts := make([]int, u)
+	pToks := make([]engine.Tok, u)
+	tToks := make([]engine.Tok, u)
+
+	i := lo
+	for ; i+u <= hi; i += u {
+		for j := 0; j < u; j++ {
+			tup, tok := engine.LoadU64(t, data, i+j, 0)
+			tups[j] = tup
+			parts[j] = int((mem.TupleKey(tup) >> cfg.Shift) & mask)
+			pToks[j] = engine.After(tok, keyCompute)
+			tToks[j] = tok
+		}
+		for j := 0; j < u; j++ {
+			pos, posTok := engine.LoadU32(t, cur, curBase+parts[j], pToks[j])
+			engine.StoreU64(t, out, int(pos), tups[j], posTok, tToks[j])
+			engine.StoreU32(t, cur, curBase+parts[j], pos+1, pToks[j], engine.After(posTok, 1))
+		}
+	}
+	tail := cfg
+	tail.Unroll = 1
+	scatterScalar(t, data, i, hi, out, cur, curBase, tail)
+}
+
+// PrefixSum turns counts hist[base:base+n] into exclusive prefix sums
+// offset by start, returning the total. A linear dependent loop; cheap
+// in every mode.
+func PrefixSum(t *engine.Thread, hist *mem.U32Buf, base, n int, start uint32) uint32 {
+	sum := start
+	var dep engine.Tok
+	for i := 0; i < n; i++ {
+		v, tok := engine.LoadU32(t, hist, base+i, dep)
+		engine.StoreU32(t, hist, base+i, sum, 0, engine.After(tok, 1))
+		sum += v
+		dep = engine.After(tok, 1)
+	}
+	return sum
+}

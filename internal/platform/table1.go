@@ -1,0 +1,40 @@
+package platform
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table1 renders the platform in the layout of the paper's Table 1
+// ("Hardware used for our benchmarks").
+func (p *Platform) Table1() string {
+	var b strings.Builder
+	row := func(k, v string) { fmt.Fprintf(&b, "%-32s %s\n", k, v) }
+	row("Processor Name", p.Name)
+	row("Sockets", fmt.Sprintf("%d", p.Sockets))
+	row("Cores per socket", fmt.Sprintf("%d", p.CoresPerSocket))
+	row("Threads per socket", fmt.Sprintf("%d (HT disabled)", p.CoresPerSocket))
+	row("Base Frequency", fmt.Sprintf("%.1f GHz", p.FreqHz/1e9))
+	row("L1d Cache (per core)", fmtBytes(p.L1D.SizeBytes))
+	row("L2 Cache (per core)", fmtBytes(p.L2.SizeBytes))
+	row("L3 Cache (per socket)", fmtBytes(p.L3.SizeBytes))
+	row("Memory (per socket)", fmtBytes(p.DRAMPerSocket))
+	row("EPC size (per socket)", fmtBytes(p.EPCPerSocket))
+	if p.Scale != 1 {
+		row("Simulation scale", fmt.Sprintf("1/%d of full size", p.Scale))
+	}
+	return b.String()
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%d GB", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%d MB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/1024)
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,235 @@
+package scan
+
+import (
+	"sgxbench/internal/core"
+	"sgxbench/internal/engine"
+	"sgxbench/internal/exec"
+	"sgxbench/internal/mem"
+	"sgxbench/internal/rng"
+)
+
+// vectorWork is the charged compute per 64-byte vector: one AVX-512
+// load feeds two byte compares, a mask AND and a mask store.
+const vectorWork = 2
+
+// Predicate is the scan filter: lo <= value <= hi (the paper's range
+// filter with lower and upper bound).
+type Predicate struct {
+	Lo, Hi uint8
+}
+
+// Selectivity returns the fraction of a uniform byte column the
+// predicate selects.
+func (p Predicate) Selectivity() float64 {
+	if p.Hi < p.Lo {
+		return 0
+	}
+	return float64(int(p.Hi)-int(p.Lo)+1) / 256
+}
+
+// Result reports a completed scan.
+type Result struct {
+	WallCycles uint64
+	Bytes      int64 // input bytes scanned (per pass x passes)
+	Matches    uint64
+	Phases     []exec.PhaseStats
+}
+
+// Throughput returns the paper's scan metric: input bytes per second.
+func (r *Result) Throughput(env *core.Env) float64 {
+	return env.Bandwidth(r.Bytes, r.WallCycles)
+}
+
+// GenColumn fills col with uniform random bytes (deterministic in seed).
+func GenColumn(col *mem.U8Buf, seed uint64) {
+	r := rng.NewXorShift(rng.Mix(seed))
+	i := 0
+	for ; i+8 <= len(col.D); i += 8 {
+		v := r.Next()
+		for j := 0; j < 8; j++ {
+			col.D[i+j] = uint8(v >> (8 * j))
+		}
+	}
+	for ; i < len(col.D); i++ {
+		col.D[i] = uint8(r.Next())
+	}
+}
+
+// bitVectorChunk scans col[lo:hi) (8-byte aligned bounds except the tail)
+// into the bit vector out (one bit per input byte), returning the match
+// count. One cache-line load covers 64 column bytes; the packed result
+// words are written sequentially — the read-heavy, write-light pattern of
+// Section 5.1.
+func bitVectorChunk(t *engine.Thread, col *mem.U8Buf, lo, hi int, out *mem.U64Buf, pred Predicate) uint64 {
+	loB, hiB := broadcast(pred.Lo), broadcast(pred.Hi)
+	var matches uint64
+	var acc uint64
+	accBase := lo // first input index covered by acc
+	flush := func(end int) {
+		w := accBase / 64
+		engine.StoreU64(t, out, w, acc, 0, 0)
+		acc = 0
+		accBase = end
+	}
+	i := lo
+	for ; i+8 <= hi; i += 8 {
+		if (i-lo)%64 == 0 {
+			engine.LoadLine(t, &col.Buffer, int64(i), 0)
+			t.Work(vectorWork)
+		}
+		var word uint64
+		for j := 0; j < 8; j++ {
+			word |= uint64(col.D[i+j]) << (8 * j)
+		}
+		bits := packMask(rangeMask(word, loB, hiB))
+		acc |= uint64(bits) << ((i - accBase) % 64)
+		matches += uint64(popcount8(bits))
+		if (i+8-accBase)%64 == 0 {
+			flush(i + 8)
+		}
+	}
+	// Scalar tail.
+	for ; i < hi; i++ {
+		if col.D[i] >= pred.Lo && col.D[i] <= pred.Hi {
+			acc |= 1 << ((i - accBase) % 64)
+			matches++
+		}
+		t.Work(1)
+	}
+	if acc != 0 || (hi-accBase) > 0 {
+		flush(hi)
+	}
+	return matches
+}
+
+// rowIDChunk scans col[lo:hi) and materializes the 64-bit row indexes of
+// matching values into out[outBase...], returning the match count. Each
+// match writes 8 bytes, so the write rate is 8x the selectivity — the
+// knob Fig 15 turns.
+func rowIDChunk(t *engine.Thread, col *mem.U8Buf, lo, hi int, out *mem.U64Buf, outBase int, pred Predicate) uint64 {
+	loB, hiB := broadcast(pred.Lo), broadcast(pred.Hi)
+	pos := outBase
+	i := lo
+	for ; i+8 <= hi; i += 8 {
+		if (i-lo)%64 == 0 {
+			engine.LoadLine(t, &col.Buffer, int64(i), 0)
+			t.Work(vectorWork)
+		}
+		var word uint64
+		for j := 0; j < 8; j++ {
+			word |= uint64(col.D[i+j]) << (8 * j)
+		}
+		bits := packMask(rangeMask(word, loB, hiB))
+		if bits != 0 {
+			t.Work(1) // vcompressq of the matching lanes
+			for j := 0; j < 8; j++ {
+				if bits&(1<<j) != 0 {
+					engine.StoreU64(t, out, pos, uint64(i+j), 0, 0)
+					pos++
+				}
+			}
+		}
+	}
+	for ; i < hi; i++ {
+		if col.D[i] >= pred.Lo && col.D[i] <= pred.Hi {
+			engine.StoreU64(t, out, pos, uint64(i), 0, 0)
+			pos++
+		}
+		t.Work(1)
+	}
+	return uint64(pos - outBase)
+}
+
+func popcount8(b uint8) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+// Options configures a scan run.
+type Options struct {
+	Threads int
+	Pred    Predicate
+	// RowIDs selects index materialization instead of a bit vector.
+	RowIDs bool
+	// Passes repeats the scan (cache warm-up measurements, Fig 13).
+	Passes int
+	// NodeOf pins thread i to a socket (cross-NUMA scans, Fig 16).
+	NodeOf func(i int) int
+}
+
+func (o Options) threads() int {
+	if o.Threads < 1 {
+		return 1
+	}
+	return o.Threads
+}
+
+func (o Options) passes() int {
+	if o.Passes < 1 {
+		return 1
+	}
+	return o.Passes
+}
+
+// Run executes a multi-threaded scan of col under env.
+func Run(env *core.Env, col *mem.U8Buf, opt Options) *Result {
+	T := opt.threads()
+	g := env.NewGroup(T, opt.NodeOf)
+	n := col.Len()
+	res := &Result{}
+
+	var bits *mem.U64Buf
+	var ids *mem.U64Buf
+	if opt.RowIDs {
+		// Result memory is pre-allocated, as in the paper ("we assume
+		// that the memory for the scan result is pre-allocated").
+		ids = env.Space.AllocU64("scan.ids", n+64, env.DataRegion())
+	} else {
+		bits = env.Space.AllocU64("scan.bits", n/64+2, env.DataRegion())
+	}
+
+	counts := make([]uint64, T)
+	for pass := 0; pass < opt.passes(); pass++ {
+		g.Phase("Scan", func(t *engine.Thread, id int) {
+			lo, hi := chunkAligned(n, T, id)
+			if opt.RowIDs {
+				counts[id] = rowIDChunk(t, col, lo, hi, ids, lo, opt.Pred)
+			} else {
+				counts[id] = bitVectorChunk(t, col, lo, hi, bits, opt.Pred)
+			}
+		})
+	}
+	for _, c := range counts {
+		res.Matches += c
+	}
+	res.Bytes = int64(n) * int64(opt.passes())
+	res.Phases = g.Phases()
+	res.WallCycles = g.Clock()
+	return res
+}
+
+// chunkAligned splits n bytes over workers at 64-byte boundaries so that
+// vector loads never straddle two threads' ranges.
+func chunkAligned(n, workers, id int) (int, int) {
+	per := (n / workers) &^ 63
+	lo := id * per
+	hi := lo + per
+	if id == workers-1 {
+		hi = n
+	}
+	return lo, hi
+}
+
+// ReferenceCount is the oracle: a plain scalar count of matching bytes.
+func ReferenceCount(col *mem.U8Buf, pred Predicate) uint64 {
+	var c uint64
+	for _, v := range col.D {
+		if v >= pred.Lo && v <= pred.Hi {
+			c++
+		}
+	}
+	return c
+}

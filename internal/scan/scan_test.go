@@ -1,0 +1,135 @@
+package scan
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sgxbench/internal/core"
+	"sgxbench/internal/platform"
+)
+
+func scanEnv(s core.Setting, scale int64) *core.Env {
+	return core.NewEnv(core.Options{Plat: platform.XeonGold6326().Scaled(scale), Setting: s})
+}
+
+// TestSWARAgainstScalar property-tests the SWAR range kernel against the
+// obvious byte loop.
+func TestSWARAgainstScalar(t *testing.T) {
+	f := func(word uint64, lo, hi uint8) bool {
+		m := rangeMask(word, broadcast(lo), broadcast(hi))
+		bits := packMask(m)
+		for j := 0; j < 8; j++ {
+			v := uint8(word >> (8 * j))
+			want := v >= lo && v <= hi
+			if (bits&(1<<j) != 0) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScanCorrectness checks match counts against the oracle across
+// settings, thread counts and output kinds.
+func TestScanCorrectness(t *testing.T) {
+	for _, setting := range []core.Setting{core.PlainCPU, core.SGXDiE, core.SGXDoE} {
+		for _, threads := range []int{1, 4, 16} {
+			for _, rowIDs := range []bool{false, true} {
+				env := scanEnv(setting, 256)
+				col := env.Space.AllocU8("col", 1<<16+13, env.DataRegion())
+				GenColumn(col, 5)
+				pred := Predicate{Lo: 10, Hi: 90}
+				want := ReferenceCount(col, pred)
+				res := Run(env, col, Options{Threads: threads, Pred: pred, RowIDs: rowIDs})
+				if res.Matches != want {
+					t.Errorf("%s threads=%d rowIDs=%v: matches=%d want %d",
+						setting, threads, rowIDs, res.Matches, want)
+				}
+			}
+		}
+	}
+}
+
+// TestScanShapeFig13 checks the single-threaded size sweep: inside the
+// cache DiE == plain; outside, the enclave costs only a few percent.
+func TestScanShapeFig13(t *testing.T) {
+	run := func(setting core.Setting, bytes int) float64 {
+		env := scanEnv(setting, 32)
+		col := env.Space.AllocU8("col", bytes, env.DataRegion())
+		GenColumn(col, 7)
+		// Warm-up pass, then measured passes (the paper scans the data
+		// 1000 times after 10 warm-ups; a handful is enough here).
+		Run(env, col, Options{Threads: 1, Pred: Predicate{Lo: 0, Hi: 127}})
+		res := Run(env, col, Options{Threads: 1, Pred: Predicate{Lo: 0, Hi: 127}, Passes: 4})
+		return res.Throughput(env)
+	}
+	small := 16 << 10 // cache-resident at scale 32
+	big := 8 << 20    // DRAM-resident
+	rSmall := run(core.SGXDiE, small) / run(core.PlainCPU, small)
+	rBig := run(core.SGXDiE, big) / run(core.PlainCPU, big)
+	t.Logf("scan DiE/plain: in-cache=%.3f out-of-cache=%.3f", rSmall, rBig)
+	if rSmall < 0.93 {
+		t.Errorf("in-cache scan should have ~no overhead, got %.3f", rSmall)
+	}
+	if rBig < 0.90 || rBig > 1.02 {
+		t.Errorf("out-of-cache scan should be ~3%% slower, got %.3f", rBig)
+	}
+	// DoE out-of-cache: no memory encryption, ~native throughput.
+	rDoE := run(core.SGXDoE, big) / run(core.PlainCPU, big)
+	if rDoE < 0.97 {
+		t.Errorf("DoE scan should be ~native, got %.3f", rDoE)
+	}
+}
+
+// TestScanShapeFig14 checks thread scaling: throughput grows with
+// threads and hits the same bandwidth roof in and out of the enclave.
+func TestScanShapeFig14(t *testing.T) {
+	run := func(setting core.Setting, threads int) float64 {
+		env := scanEnv(setting, 32)
+		col := env.Space.AllocU8("col", 64<<20, env.DataRegion())
+		GenColumn(col, 9)
+		res := Run(env, col, Options{Threads: threads, Pred: Predicate{Lo: 0, Hi: 127}})
+		return res.Throughput(env)
+	}
+	var lastPlain, lastDie float64
+	for _, th := range []int{1, 4, 16} {
+		p, d := run(core.PlainCPU, th), run(core.SGXDiE, th)
+		t.Logf("threads=%2d plain=%.1f GiB/s die=%.1f GiB/s", th, p/(1<<30), d/(1<<30))
+		if p < lastPlain || d < lastDie {
+			t.Errorf("throughput should not decrease with threads")
+		}
+		lastPlain, lastDie = p, d
+	}
+	if lastDie < 0.90*lastPlain {
+		t.Errorf("16-thread DiE scan (%.1f) should be within 10%% of plain (%.1f)",
+			lastDie/(1<<30), lastPlain/(1<<30))
+	}
+	// The 16-thread scan must be bandwidth-bound (near the socket roof).
+	env := scanEnv(core.PlainCPU, 32)
+	roof := env.Plat.SocketDRAMBW * env.Plat.FreqHz
+	if lastPlain < 0.7*roof {
+		t.Errorf("16-thread scan (%.2e B/s) should approach the bandwidth roof (%.2e B/s)", lastPlain, roof)
+	}
+}
+
+// TestScanShapeFig15 checks that increasing the write rate (selectivity
+// of the row-id scan) does not penalize the enclave more than native.
+func TestScanShapeFig15(t *testing.T) {
+	run := func(setting core.Setting, sel uint8) float64 {
+		env := scanEnv(setting, 32)
+		col := env.Space.AllocU8("col", 32<<20, env.DataRegion())
+		GenColumn(col, 11)
+		res := Run(env, col, Options{Threads: 16, Pred: Predicate{Lo: 0, Hi: sel}, RowIDs: true})
+		return res.Throughput(env)
+	}
+	for _, sel := range []uint8{2, 127, 255} {
+		ratio := run(core.SGXDiE, sel) / run(core.PlainCPU, sel)
+		t.Logf("selectivity %.2f: DiE/plain=%.3f", (float64(sel)+1)/256, ratio)
+		if ratio < 0.85 {
+			t.Errorf("write rate %.2f: enclave overhead too high (%.3f)", (float64(sel)+1)/256, ratio)
+		}
+	}
+}

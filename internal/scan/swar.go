@@ -1,0 +1,45 @@
+// Package scan implements the vectorized column scans of Section 5:
+// byte-column range scans producing either a packed bit vector or
+// materialized row indexes, modeled after AVX-512 SIMD scans [34, 42].
+//
+// Go has no SIMD intrinsics, so the kernels use SWAR — SIMD within a
+// register — processing 8 column bytes per 64-bit word with branchless
+// byte-parallel comparisons. The timing engine charges vector-width
+// (cache-line) loads, matching the memory behaviour of AVX-512 scans,
+// which is what Figures 13-16 measure.
+package scan
+
+// hiBits has the high bit of every byte lane set.
+const hiBits = 0x8080808080808080
+
+// broadcast replicates a byte into all 8 lanes.
+func broadcast(b uint8) uint64 { return uint64(b) * 0x0101010101010101 }
+
+// bytesGE returns a mask with the high bit of each lane set where the
+// corresponding byte of x is >= the byte of y (unsigned).
+//
+// Derivation: with bit 7 of x forced on and bit 7 of y forced off, the
+// per-lane subtraction (x|H)-(y&^H) never borrows across lanes and its
+// bit 7 equals "low7(x) >= low7(y)". Combining with the true bit-7s of x
+// and y yields the full unsigned comparison:
+//
+//	ge = (x7 & ^y7) | (^(x7^y7) & bit7((x|H)-(y&^H)))
+func bytesGE(x, y uint64) uint64 {
+	z := (x | hiBits) - (y &^ hiBits)
+	x7 := x & hiBits
+	y7 := y & hiBits
+	return (x7 &^ y7) | (^(x7 ^ y7) & z & hiBits)
+}
+
+// rangeMask returns the lane mask (high bit per lane) of bytes v with
+// lo <= v <= hi.
+func rangeMask(word, lo, hi uint64) uint64 {
+	return bytesGE(word, lo) & bytesGE(hi, word)
+}
+
+// packMask compresses a lane mask (bits 7, 15, ..., 63) into the low 8
+// bits, least-significant lane first.
+func packMask(m uint64) uint8 {
+	// Multiply gathers the 8 spaced bits into the top byte.
+	return uint8(((m >> 7) * 0x0102040810204080) >> 56)
+}

@@ -1,0 +1,92 @@
+// Package stats provides the small numeric helpers used by the benchmark
+// harness: mean/stddev over repetitions and human-readable formatting of
+// throughputs and sizes, matching the units the paper reports
+// (10^6 rows/s for joins, GiB/s for scans, ms for query runtimes).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary holds the aggregate of repeated measurements.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes mean, sample standard deviation, min and max.
+// It returns a zero Summary for an empty slice.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// MRowsPerSec formats a rows-per-second figure in the paper's join unit,
+// 10^6 rows/s.
+func MRowsPerSec(rowsPerSec float64) string {
+	return fmt.Sprintf("%.1f M rows/s", rowsPerSec/1e6)
+}
+
+// GiBPerSec formats a bytes-per-second figure in GiB/s (scan unit).
+func GiBPerSec(bytesPerSec float64) string {
+	return fmt.Sprintf("%.1f GiB/s", bytesPerSec/(1<<30))
+}
+
+// Millis formats seconds as milliseconds (query runtime unit).
+func Millis(seconds float64) string { return fmt.Sprintf("%.2f ms", seconds*1e3) }
+
+// Ratio formats a relative value as a fraction of a baseline.
+func Ratio(v, baseline float64) string {
+	if baseline == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", v/baseline)
+}
+
+// Percent formats v/baseline as a percentage string.
+func Percent(v, baseline float64) string {
+	if baseline == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.0f %%", 100*v/baseline)
+}
+
+// HumanBytes formats a byte count with binary units.
+func HumanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
