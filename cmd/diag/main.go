@@ -1,6 +1,14 @@
+// Command diag runs one join under one execution setting and prints the
+// simulated phase breakdown — a quick inspection tool for the timing
+// model.
+//
+// Usage:
+//
+//	go run ./cmd/diag [-alg RHO] [-setting plain|plainm|doe|die] [-scale 128] [-threads 16] [-opt]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -10,29 +18,74 @@ import (
 	"sgxbench/internal/rel"
 )
 
+var (
+	algName  = flag.String("alg", "RHO", "join algorithm: PHT, RHO, MWAY, INL or CrkJoin")
+	setName  = flag.String("setting", "plain", "execution setting: plain, plainm, doe or die")
+	scale    = flag.Int64("scale", 128, "platform scale-down factor (power of two)")
+	threads  = flag.Int("threads", 16, "worker threads")
+	optimize = flag.Bool("opt", false, "enable the unroll+reorder optimized kernels")
+)
+
+func parseSetting(s string) (core.Setting, bool) {
+	switch s {
+	case "plain":
+		return core.PlainCPU, true
+	case "plainm":
+		return core.PlainCPUM, true
+	case "doe":
+		return core.SGXDoE, true
+	case "die":
+		return core.SGXDiE, true
+	}
+	return 0, false
+}
+
 func main() {
-	scale := int64(128)
-	algName := "RHO"
-	if len(os.Args) > 1 {
-		algName = os.Args[1]
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: diag [flags]\n\nflags:\n")
+		flag.PrintDefaults()
 	}
-	setting := core.PlainCPU
-	if len(os.Args) > 2 && os.Args[2] == "die" {
-		setting = core.SGXDiE
+	flag.Parse()
+
+	setting, ok := parseSetting(*setName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "diag: unknown setting %q (want plain, plainm, doe or die)\n", *setName)
+		flag.Usage()
+		os.Exit(2)
 	}
-	plat := platform.XeonGold6326().Scaled(scale)
-	env := core.NewEnv(core.Options{Plat: plat, Setting: setting})
-	nR := rel.RowsForMB(100) / int(scale)
-	nS := rel.RowsForMB(400) / int(scale)
-	build, probe := rel.GenFKPair(env.Space, nR, nS, env.DataRegion(), 1234)
-	alg, err := join.ByName(algName)
+	alg, err := join.ByName(*algName)
 	if err != nil {
-		panic(err)
+		fmt.Fprintf(os.Stderr, "diag: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
 	}
-	res, _ := alg.Run(env, build, probe, join.Options{Threads: 16})
-	fmt.Printf("%s %s: wall=%d tput=%.1f M/s build=%d probe=%d\n", algName, setting, res.WallCycles, res.Throughput(env, nR, nS)/1e6, res.BuildCycles, res.ProbeCycles)
+	if *scale <= 0 || *scale&(*scale-1) != 0 {
+		fmt.Fprintf(os.Stderr, "diag: -scale %d must be a positive power of two\n", *scale)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *threads < 1 {
+		fmt.Fprintf(os.Stderr, "diag: -threads %d must be >= 1\n", *threads)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	plat := platform.XeonGold6326().Scaled(*scale)
+	env := core.NewEnv(core.Options{Plat: plat, Setting: setting})
+	nR := rel.RowsForMB(100) / int(*scale)
+	nS := rel.RowsForMB(400) / int(*scale)
+	build, probe := rel.GenFKPair(env.Space, nR, nS, env.DataRegion(), 1234)
+	res, err := alg.Run(env, build, probe, join.Options{Threads: *threads, Optimized: *optimize})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "diag: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s %s: wall=%d tput=%.1f M/s build=%d probe=%d\n",
+		alg.Name(), setting, res.WallCycles, res.Throughput(env, nR, nS)/1e6, res.BuildCycles, res.ProbeCycles)
 	for _, p := range res.Phases {
-		fmt.Printf("%-10s wall=%9d busiest=%9d bw=%v loads=%9d stores=%9d l1=%9d l2=%8d l3=%7d dram=%7d walks=%6d ssb=%9d strF=%7d rndF=%7d\n",
-			p.Name, p.WallCycles, p.Busiest, p.BWBound, p.Agg.Loads, p.Agg.Stores, p.Agg.L1Hits, p.Agg.L2Hits, p.Agg.L3Hits, p.Agg.DRAMAcc, p.Agg.TLBWalks, p.Agg.StallSSB, p.Agg.StreamFills, p.Agg.RandomFills)
+		fmt.Printf("%-10s wall=%9d busiest=%9d bw=%v host=%6.1fms loads=%9d stores=%9d l1=%9d l2=%8d l3=%7d dram=%7d walks=%6d ssb=%9d strF=%7d rndF=%7d\n",
+			p.Name, p.WallCycles, p.Busiest, p.BWBound, float64(p.HostNanos)/1e6,
+			p.Agg.Loads, p.Agg.Stores, p.Agg.L1Hits, p.Agg.L2Hits, p.Agg.L3Hits,
+			p.Agg.DRAMAcc, p.Agg.TLBWalks, p.Agg.StallSSB, p.Agg.StreamFills, p.Agg.RandomFills)
 	}
 }

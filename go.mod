@@ -1,0 +1,3 @@
+module sgxbench
+
+go 1.24

@@ -6,12 +6,472 @@
 // rather than statistical so that residency transitions — the paper's main
 // axis of analysis — fall out of the geometry: a 1 MB hash table hits in
 // L2, a 100 MB one misses to DRAM, exactly as in Figures 4, 5 and 13.
+//
+// Two implementations of the same replacement behaviour coexist:
+//
+//   - Cache/TLB: the production representation used by the engine's
+//     batched fast path. Each set stores its ways in recency order
+//     (MRU first) as a single packed entry array, so a hit is a short
+//     scan plus a move-to-front rotation, a miss victim is always the
+//     last slot (O(1), no timestamp scan), and probe + fill merge into
+//     one pass over the set (AccessOrFill). Set counts are rounded up
+//     to a power of two so indexing is a mask, not a division.
+//   - RefCache/RefTLB: the original timestamp-LRU representation with
+//     separate Access and Fill probes, kept verbatim as the reference
+//     the golden equivalence tests and cmd/bench compare against.
+//
+// Both implementations make identical hit/miss/eviction decisions for
+// every access sequence: move-to-front order is exactly the LRU order the
+// timestamps encode, and both prefer an invalid way over evicting (in the
+// packed layout invalid ways always form a suffix of the recency order, so
+// the last slot is invalid whenever any way is). The cache tests verify
+// this equivalence on randomized traces.
 package cache
 
-import "sgxbench/internal/platform"
+import (
+	"math/bits"
 
-// Cache is one set-associative level. The zero value is not usable; use New.
+	"sgxbench/internal/platform"
+)
+
+// pow2Sets rounds a set count up to the next power of two (minimum 1) so
+// that set indexing is a mask. Both implementations use the rounded count
+// so they stay behaviourally identical to each other.
+//
+// Note the modeling consequence: geometries whose set count is not a
+// power of two (only produced by extreme Scaled() factors or large
+// L3Share divisions — the full-size Table 1 geometries are all powers of
+// two) gain up to 2x capacity in the affected level. The scaled-platform
+// shape tests bound the effect; if an experiment needs exact fractional
+// set counts, pick scale factors that keep every level a power of two.
+func pow2Sets(n int64) uint64 {
+	if n < 1 {
+		return 1
+	}
+	return 1 << uint(bits.Len64(uint64(n-1)))
+}
+
+// lineShift returns log2 of the line size.
+func lineShift(lineBytes int64) uint {
+	l := uint(0)
+	for b := lineBytes; b > 1; b >>= 1 {
+		l++
+	}
+	return l
+}
+
+// Cache is one set-associative level (fast representation). The zero value
+// is not usable; use New.
+//
+// Entry encoding: 0 means invalid; otherwise (line+1)<<1 | dirtyBit.
+// Within a set, entries form a circular recency list: head[s] is the
+// physical index of the MRU way and recency decreases walking forward
+// (with wrap-around), so the slot just before head is the LRU victim.
+// A miss insert is therefore O(1) — rotate head back one slot and
+// overwrite the old LRU — and only hits deeper in the recency order pay
+// a partial shift to move to the front.
 type Cache struct {
+	mask     uint64 // sets-1 (sets is a power of two)
+	ways     int
+	stride   uint64 // words per set block in data: 8 filter words + ways
+	lineBits uint
+	setShift uint // log2(sets): line >> setShift is the tag
+	// data interleaves each set's membership filter (8 words = 64
+	// one-byte counters keyed by the low tag bits, see filtKey) with its
+	// packed entries (circular recency order), so one probe touches one
+	// contiguous block. The filter counts how many resident ways share a
+	// key: a zero counter proves a miss without scanning the set — the
+	// common case for streaming accesses, whose resident tags within a
+	// set are consecutive and therefore never collide with the probed
+	// line's key. Counters are exact (no false negatives); a nonzero
+	// counter merely means the set must be scanned.
+	data []uint64
+	head []uint16 // per-set physical index of the MRU way
+}
+
+// New builds a cache with the given geometry.
+func New(g platform.CacheGeom) *Cache {
+	sets := pow2Sets(g.Sets())
+	stride := uint64(8 + g.Ways)
+	return &Cache{
+		mask:     sets - 1,
+		ways:     g.Ways,
+		stride:   stride,
+		lineBits: lineShift(g.LineBytes),
+		setShift: uint(bits.Len64(sets - 1)),
+		data:     make([]uint64, sets*stride),
+		head:     make([]uint16, sets),
+	}
+}
+
+// filtKey returns (word index, bit shift) of line's filter counter within
+// set s. The key is taken from the tag bits (line with the set index
+// shifted out): resident lines of one set always differ in their tags, and
+// for streaming workloads recent residents have consecutive tags, so keys
+// rarely collide and most misses are proven without a scan.
+func (c *Cache) filtKey(s, line uint64) (uint64, uint) {
+	k := (line >> c.setShift) & 63
+	return s*c.stride + k>>3, uint(k&7) << 3
+}
+
+// LineOf maps an address to its line number.
+func (c *Cache) LineOf(addr uint64) uint64 { return addr >> c.lineBits }
+
+// LineBytes returns the line size in bytes.
+func (c *Cache) LineBytes() int64 { return 1 << c.lineBits }
+
+// AccessOrFill merges Access and Fill into a single pass over the set: on
+// a hit the line moves to the front (and is dirtied on writes); on a miss
+// the line is inserted immediately, evicting the LRU way — the head
+// rotates back one slot onto the old LRU entry, so a miss insert is O(1)
+// and the set is never rescanned. The eviction report applies only to the
+// miss case.
+func (c *Cache) AccessOrFill(line uint64, write bool) (hit bool, evicted uint64, evictedDirty, evictedOK bool) {
+	s := line & c.mask
+	fbase := s * c.stride
+	blk := c.data[fbase : fbase+c.stride]
+	set := blk[8:]
+	h := int(c.head[s])
+	want := (line+1)<<1 | 1
+	if mru := set[h]; mru|1 == want {
+		// MRU hit: already at the front, no reorder needed.
+		if write {
+			set[h] = mru | 1
+		}
+		return true, 0, false, false
+	}
+	k := (line >> c.setShift) & 63
+	fw, fs := k>>3, uint(k&7)<<3
+	if blk[fw]>>fs&0xff != 0 {
+		// The filter says the line may be resident: fused walk — scan,
+		// move-to-front and (on a miss) fill in one write-behind pass.
+		hit, evicted, evictedDirty, evictedOK = c.scanOrFill(blk, h, line, write)
+		if !hit {
+			blk[fw] += 1 << fs
+		}
+		return hit, evicted, evictedDirty, evictedOK
+	}
+	// Proven miss: O(1) insert, rotating the head onto the old LRU entry.
+	lru := h - 1
+	if lru < 0 {
+		lru = len(set) - 1
+	}
+	if old := set[lru]; old != 0 {
+		evicted = old>>1 - 1
+		evictedDirty = old&1 != 0
+		evictedOK = true
+		ek := (evicted >> c.setShift) & 63
+		blk[ek>>3] -= 1 << (uint(ek&7) << 3)
+	}
+	e := (line + 1) << 1
+	if write {
+		e |= 1
+	}
+	set[lru] = e
+	c.head[s] = uint16(lru)
+	blk[fw] += 1 << fs
+	return false, evicted, evictedDirty, evictedOK
+}
+
+// AccessOrFillStream is AccessOrFill with the probe order tuned for
+// sequential runs: the membership filter is consulted before the MRU way,
+// because a streaming access is almost always a provable miss that can
+// take the O(1) insert without touching the set at all. The state
+// transition is identical to AccessOrFill — only the check order differs.
+func (c *Cache) AccessOrFillStream(line uint64, write bool) (hit bool, evicted uint64, evictedDirty, evictedOK bool) {
+	s := line & c.mask
+	fbase := s * c.stride
+	blk := c.data[fbase : fbase+c.stride]
+	set := blk[8:]
+	k := (line >> c.setShift) & 63
+	fw, fs := k>>3, uint(k&7)<<3
+	h := int(c.head[s])
+	if blk[fw]>>fs&0xff != 0 {
+		want := (line+1)<<1 | 1
+		if mru := set[h]; mru|1 == want {
+			if write {
+				set[h] = mru | 1
+			}
+			return true, 0, false, false
+		}
+		hit, evicted, evictedDirty, evictedOK = c.scanOrFill(blk, h, line, write)
+		if !hit {
+			blk[fw] += 1 << fs
+		}
+		return hit, evicted, evictedDirty, evictedOK
+	}
+	// Proven miss: O(1) insert, rotating the head onto the old LRU entry.
+	lru := h - 1
+	if lru < 0 {
+		lru = len(set) - 1
+	}
+	if old := set[lru]; old != 0 {
+		evicted = old>>1 - 1
+		evictedDirty = old&1 != 0
+		evictedOK = true
+		ek := (evicted >> c.setShift) & 63
+		blk[ek>>3] -= 1 << (uint(ek&7) << 3)
+	}
+	e := (line + 1) << 1
+	if write {
+		e |= 1
+	}
+	set[lru] = e
+	c.head[s] = uint16(lru)
+	blk[fw] += 1 << fs
+	return false, evicted, evictedDirty, evictedOK
+}
+
+// scanOrFill walks the set in recency order (starting after the MRU way,
+// which the caller already checked) with a write-behind shift: on a hit
+// the entry lands at the front with the move-to-front rotation already
+// complete; on a miss every resident way has aged one position by the end
+// of the walk, so writing the new line at the front slot completes the
+// fill — same final state as the rotate-head insert, without rescanning.
+// The caller maintains the inserted line's filter counter; the evicted
+// line's counter is decremented here.
+func (c *Cache) scanOrFill(blk []uint64, h int, line uint64, write bool) (hit bool, evicted uint64, evictedDirty, evictedOK bool) {
+	set := blk[8:]
+	want := (line+1)<<1 | 1
+	prev := set[h]
+	for i := h + 1; i < len(set); i++ {
+		cur := set[i]
+		set[i] = prev
+		prev = cur
+		if cur|1 == want {
+			if write {
+				cur |= 1
+			}
+			set[h] = cur
+			return true, 0, false, false
+		}
+	}
+	for i := 0; i < h; i++ {
+		cur := set[i]
+		set[i] = prev
+		prev = cur
+		if cur|1 == want {
+			if write {
+				cur |= 1
+			}
+			set[h] = cur
+			return true, 0, false, false
+		}
+	}
+	// Miss: prev now holds the old LRU entry.
+	if prev != 0 {
+		evicted = prev>>1 - 1
+		evictedDirty = prev&1 != 0
+		evictedOK = true
+		ek := (evicted >> c.setShift) & 63
+		blk[ek>>3] -= 1 << (uint(ek&7) << 3)
+	}
+	e := (line + 1) << 1
+	if write {
+		e |= 1
+	}
+	set[h] = e
+	return false, evicted, evictedDirty, evictedOK
+}
+
+// scanHit scans the set s for line in recency order; on a hit the entry
+// moves to the front (dirtied on writes). Recency order is two linear
+// segments of the circular set: [h, ways) then [0, h).
+func (c *Cache) scanHit(s, line uint64, write bool) bool {
+	base := s*c.stride + 8
+	set := c.data[base : base+uint64(c.ways)]
+	h := int(c.head[s])
+	want := (line+1)<<1 | 1
+	for i := h; i < len(set); i++ {
+		if set[i]|1 == want {
+			e := set[i]
+			if write {
+				e |= 1
+			}
+			copy(set[h+1:i+1], set[h:i])
+			set[h] = e
+			return true
+		}
+	}
+	for i := 0; i < h; i++ {
+		if set[i]|1 == want {
+			e := set[i]
+			if write {
+				e |= 1
+			}
+			copy(set[1:i+1], set[:i])
+			set[0] = set[len(set)-1]
+			copy(set[h+1:], set[h:len(set)-1])
+			set[h] = e
+			return true
+		}
+	}
+	return false
+}
+
+// fillMiss inserts line at the front of set s (after a miss), evicting
+// the LRU way in O(1): the head rotates back one slot onto the old LRU
+// entry. fw/fs locate line's filter counter.
+func (c *Cache) fillMiss(s, line uint64, write bool, fw uint64, fs uint) (evicted uint64, evictedDirty, ok bool) {
+	base := s*c.stride + 8
+	set := c.data[base : base+uint64(c.ways)]
+	lru := int(c.head[s]) - 1
+	if lru < 0 {
+		lru = len(set) - 1
+	}
+	if old := set[lru]; old != 0 {
+		evicted = old>>1 - 1
+		evictedDirty = old&1 != 0
+		ok = true
+		ew, es := c.filtKey(s, evicted)
+		c.data[ew] -= 1 << es
+	}
+	e := (line + 1) << 1
+	if write {
+		e |= 1
+	}
+	set[lru] = e
+	c.head[s] = uint16(lru)
+	c.data[fw] += 1 << fs
+	return evicted, evictedDirty, ok
+}
+
+// Access probes the cache for line. On a hit it refreshes LRU state
+// (move-to-front) and, for writes, marks the line dirty.
+func (c *Cache) Access(line uint64, write bool) bool {
+	s := line & c.mask
+	fw, fs := c.filtKey(s, line)
+	if c.data[fw]>>fs&0xff == 0 {
+		return false
+	}
+	return c.scanHit(s, line, write)
+}
+
+// Fill inserts line (after a miss), evicting the LRU way of its set.
+// It reports the evicted line and whether it was dirty; ok is false when
+// an invalid way was used and nothing was evicted.
+func (c *Cache) Fill(line uint64, write bool) (evicted uint64, evictedDirty, ok bool) {
+	s := line & c.mask
+	fw, fs := c.filtKey(s, line)
+	return c.fillMiss(s, line, write, fw, fs)
+}
+
+// Reset invalidates all lines.
+func (c *Cache) Reset() {
+	for i := range c.data {
+		c.data[i] = 0
+	}
+	for i := range c.head {
+		c.head[i] = 0
+	}
+}
+
+// TLB is a set-associative translation lookaside buffer over 4 KiB pages
+// (fast representation: circular recency order and a counting membership
+// filter, exactly like Cache).
+type TLB struct {
+	mask     uint64
+	ways     int
+	setShift uint
+	ents     []uint64 // 0 invalid, otherwise page+1; circular per set
+	head     []uint16 // per-set physical index of the MRU way
+	filt     []uint64 // 64 one-byte counters per set, keyed by tag bits
+}
+
+// NewTLB builds a TLB with the given geometry.
+func NewTLB(g platform.TLBGeom) *TLB {
+	sets := pow2Sets(int64(g.Entries / g.Ways))
+	return &TLB{
+		mask:     sets - 1,
+		ways:     g.Ways,
+		setShift: uint(bits.Len64(sets - 1)),
+		ents:     make([]uint64, sets*uint64(g.Ways)),
+		head:     make([]uint16, sets),
+		filt:     make([]uint64, sets*8),
+	}
+}
+
+// MRUHit reports whether page is the most recently used entry of its
+// set. A true result means Access(page) would hit without any state
+// change, so callers may skip the probe entirely.
+func (t *TLB) MRUHit(page uint64) bool {
+	s := page & t.mask
+	return t.ents[s*uint64(t.ways)+uint64(t.head[s])] == page+1
+}
+
+// Access probes for page; on a miss the page is installed (evicting LRU).
+// It returns whether the probe hit. The MRU way is checked first (a
+// repeat translation of the most recent page in a set needs no reorder),
+// and the counting filter proves most misses without scanning the set.
+func (t *TLB) Access(page uint64) bool {
+	s := page & t.mask
+	base := s * uint64(t.ways)
+	set := t.ents[base : base+uint64(t.ways)]
+	h := int(t.head[s])
+	tag := page + 1
+	if set[h] == tag {
+		return true
+	}
+	k := (page >> t.setShift) & 63
+	fw, fs := s<<3+k>>3, uint(k&7)<<3
+	if t.filt[fw]>>fs&0xff != 0 {
+		if t.scanHit(set, h, tag) {
+			return true
+		}
+	}
+	lru := h - 1
+	if lru < 0 {
+		lru = len(set) - 1
+	}
+	if old := set[lru]; old != 0 {
+		ek := ((old - 1) >> t.setShift) & 63
+		t.filt[s<<3+ek>>3] -= 1 << (uint(ek&7) << 3)
+	}
+	set[lru] = tag
+	t.head[s] = uint16(lru)
+	t.filt[fw] += 1 << fs
+	return false
+}
+
+// scanHit scans the set for tag in recency order (two linear segments of
+// the circular layout), promoting a hit to the front.
+func (t *TLB) scanHit(set []uint64, h int, tag uint64) bool {
+	for i := h + 1; i < len(set); i++ {
+		if set[i] == tag {
+			copy(set[h+1:i+1], set[h:i])
+			set[h] = tag
+			return true
+		}
+	}
+	for i := 0; i < h; i++ {
+		if set[i] == tag {
+			copy(set[1:i+1], set[:i])
+			set[0] = set[len(set)-1]
+			copy(set[h+1:], set[h:len(set)-1])
+			set[h] = tag
+			return true
+		}
+	}
+	return false
+}
+
+// Reset invalidates all entries.
+func (t *TLB) Reset() {
+	for i := range t.ents {
+		t.ents[i] = 0
+	}
+	for i := range t.head {
+		t.head[i] = 0
+	}
+	for i := range t.filt {
+		t.filt[i] = 0
+	}
+}
+
+// RefCache is the original timestamp-LRU cache level, kept as the
+// reference implementation for the engine's per-op path (golden tests and
+// cmd/bench baselines). Its replacement decisions are identical to Cache.
+type RefCache struct {
 	sets     uint64
 	ways     int
 	lineBits uint
@@ -21,18 +481,14 @@ type Cache struct {
 	tick     uint64
 }
 
-// New builds a cache with the given geometry.
-func New(g platform.CacheGeom) *Cache {
-	sets := uint64(g.Sets())
-	lineBits := uint(0)
-	for l := g.LineBytes; l > 1; l >>= 1 {
-		lineBits++
-	}
+// NewRef builds a reference cache with the given geometry.
+func NewRef(g platform.CacheGeom) *RefCache {
+	sets := pow2Sets(g.Sets())
 	n := sets * uint64(g.Ways)
-	return &Cache{
+	return &RefCache{
 		sets:     sets,
 		ways:     g.Ways,
-		lineBits: lineBits,
+		lineBits: lineShift(g.LineBytes),
 		tags:     make([]uint64, n),
 		stamp:    make([]uint64, n),
 		dirty:    make([]bool, n),
@@ -40,14 +496,14 @@ func New(g platform.CacheGeom) *Cache {
 }
 
 // LineOf maps an address to its line number.
-func (c *Cache) LineOf(addr uint64) uint64 { return addr >> c.lineBits }
+func (c *RefCache) LineOf(addr uint64) uint64 { return addr >> c.lineBits }
 
 // LineBytes returns the line size in bytes.
-func (c *Cache) LineBytes() int64 { return 1 << c.lineBits }
+func (c *RefCache) LineBytes() int64 { return 1 << c.lineBits }
 
-// Access probes the cache for the line containing addr. On a hit it
-// refreshes LRU state and, for writes, marks the line dirty.
-func (c *Cache) Access(line uint64, write bool) bool {
+// Access probes the cache for line. On a hit it refreshes LRU state and,
+// for writes, marks the line dirty.
+func (c *RefCache) Access(line uint64, write bool) bool {
 	base := (line % c.sets) * uint64(c.ways)
 	tag := line + 1
 	c.tick++
@@ -66,7 +522,7 @@ func (c *Cache) Access(line uint64, write bool) bool {
 // Fill inserts the line (after a miss), evicting the LRU way of its set.
 // It reports the evicted line and whether it was dirty; ok is false when
 // an invalid way was used and nothing was evicted.
-func (c *Cache) Fill(line uint64, write bool) (evicted uint64, evictedDirty, ok bool) {
+func (c *RefCache) Fill(line uint64, write bool) (evicted uint64, evictedDirty, ok bool) {
 	base := (line % c.sets) * uint64(c.ways)
 	c.tick++
 	victim := base
@@ -95,7 +551,7 @@ func (c *Cache) Fill(line uint64, write bool) (evicted uint64, evictedDirty, ok 
 }
 
 // Reset invalidates all lines.
-func (c *Cache) Reset() {
+func (c *RefCache) Reset() {
 	for i := range c.tags {
 		c.tags[i] = 0
 		c.stamp[i] = 0
@@ -104,8 +560,9 @@ func (c *Cache) Reset() {
 	c.tick = 0
 }
 
-// TLB is a set-associative translation lookaside buffer over 4 KiB pages.
-type TLB struct {
+// RefTLB is the original timestamp-LRU TLB, the reference counterpart of
+// TLB.
+type RefTLB struct {
 	sets  uint64
 	ways  int
 	tags  []uint64
@@ -113,19 +570,16 @@ type TLB struct {
 	tick  uint64
 }
 
-// NewTLB builds a TLB with the given geometry.
-func NewTLB(g platform.TLBGeom) *TLB {
-	sets := uint64(g.Entries / g.Ways)
-	if sets < 1 {
-		sets = 1
-	}
+// NewRefTLB builds a reference TLB with the given geometry.
+func NewRefTLB(g platform.TLBGeom) *RefTLB {
+	sets := pow2Sets(int64(g.Entries / g.Ways))
 	n := sets * uint64(g.Ways)
-	return &TLB{sets: sets, ways: g.Ways, tags: make([]uint64, n), stamp: make([]uint64, n)}
+	return &RefTLB{sets: sets, ways: g.Ways, tags: make([]uint64, n), stamp: make([]uint64, n)}
 }
 
-// Access probes for page; on a miss the page is installed (evicting LRU).
-// It returns whether the probe hit.
-func (t *TLB) Access(page uint64) bool {
+// Access probes for page; on a miss the page is installed (evicting an
+// empty way if present, else LRU). It returns whether the probe hit.
+func (t *RefTLB) Access(page uint64) bool {
 	base := (page % t.sets) * uint64(t.ways)
 	tag := page + 1
 	t.tick++
@@ -155,7 +609,7 @@ func (t *TLB) Access(page uint64) bool {
 }
 
 // Reset invalidates all entries.
-func (t *TLB) Reset() {
+func (t *RefTLB) Reset() {
 	for i := range t.tags {
 		t.tags[i] = 0
 		t.stamp[i] = 0

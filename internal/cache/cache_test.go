@@ -1,0 +1,216 @@
+package cache
+
+import (
+	"testing"
+
+	"sgxbench/internal/platform"
+	"sgxbench/internal/rng"
+)
+
+// oneSet is a single-set, 4-way cache geometry: every line maps to set 0,
+// which makes eviction order directly observable.
+var oneSet = platform.CacheGeom{SizeBytes: 4 * 64, Ways: 4, LineBytes: 64}
+
+// lines that all map to set 0 of a single-set cache are just consecutive
+// integers; for multi-set geometries use line*sets to stay in one set.
+
+// TestLRUEvictionOrder fills a set past capacity and checks that the
+// least recently used line is evicted, for both implementations.
+func TestLRUEvictionOrder(t *testing.T) {
+	type cacheIface interface {
+		Access(line uint64, write bool) bool
+		Fill(line uint64, write bool) (uint64, bool, bool)
+	}
+	for _, tc := range []struct {
+		name string
+		c    cacheIface
+	}{
+		{"fast", New(oneSet)},
+		{"ref", NewRef(oneSet)},
+	} {
+		c := tc.c
+		// Fill ways with lines 1..4. No evictions while invalid ways last.
+		for l := uint64(1); l <= 4; l++ {
+			if c.Access(l, false) {
+				t.Fatalf("%s: cold access to line %d hit", tc.name, l)
+			}
+			if _, _, ok := c.Fill(l, false); ok {
+				t.Fatalf("%s: filling invalid way evicted something (line %d)", tc.name, l)
+			}
+		}
+		// Touch line 1: it becomes MRU; LRU is now line 2.
+		if !c.Access(1, false) {
+			t.Fatalf("%s: line 1 should be resident", tc.name)
+		}
+		// Insert line 5: must evict line 2 (true LRU).
+		if c.Access(5, false) {
+			t.Fatalf("%s: line 5 unexpectedly hit", tc.name)
+		}
+		ev, _, ok := c.Fill(5, false)
+		if !ok || ev != 2 {
+			t.Errorf("%s: expected eviction of line 2, got ok=%v line=%d", tc.name, ok, ev)
+		}
+		// Insert line 6: must evict line 3.
+		c.Access(6, false)
+		if ev, _, _ := c.Fill(6, false); ev != 3 {
+			t.Errorf("%s: expected eviction of line 3, got %d", tc.name, ev)
+		}
+		// 1, 4, 5, 6 resident; 2, 3 gone.
+		for _, want := range []uint64{1, 4, 5, 6} {
+			if !c.Access(want, false) {
+				t.Errorf("%s: line %d should be resident", tc.name, want)
+			}
+		}
+		if c.Access(2, false) || c.Access(3, false) {
+			t.Errorf("%s: evicted lines still resident", tc.name)
+		}
+	}
+}
+
+// TestDirtyWriteback checks that dirty lines report their state when
+// evicted and clean lines do not, for both implementations.
+func TestDirtyWriteback(t *testing.T) {
+	for _, impl := range []string{"fast", "ref"} {
+		var access func(uint64, bool) bool
+		var fill func(uint64, bool) (uint64, bool, bool)
+		if impl == "fast" {
+			c := New(oneSet)
+			access, fill = c.Access, c.Fill
+		} else {
+			c := NewRef(oneSet)
+			access, fill = c.Access, c.Fill
+		}
+		fill(1, true)  // written on fill
+		fill(2, false) // clean
+		access(3, false)
+		fill(3, false)
+		access(3, true) // dirtied by a write hit
+		fill(4, false)
+		// Evict line 1 (LRU): was written on fill -> dirty.
+		ev, dirty, ok := fill(5, false)
+		if !ok || ev != 1 || !dirty {
+			t.Errorf("%s: want dirty eviction of line 1, got line=%d dirty=%v ok=%v", impl, ev, dirty, ok)
+		}
+		// Evict line 2: never written -> clean.
+		ev, dirty, _ = fill(6, false)
+		if ev != 2 || dirty {
+			t.Errorf("%s: want clean eviction of line 2, got line=%d dirty=%v", impl, ev, dirty)
+		}
+		// Evict line 3: dirtied by the write hit.
+		ev, dirty, _ = fill(7, false)
+		if ev != 3 || !dirty {
+			t.Errorf("%s: want dirty eviction of line 3, got line=%d dirty=%v", impl, ev, dirty)
+		}
+	}
+}
+
+// TestTLBSetIndexing checks set selection and that an empty way is always
+// preferred over evicting a valid entry, for both TLB implementations.
+func TestTLBSetIndexing(t *testing.T) {
+	geom := platform.TLBGeom{Entries: 8, Ways: 4} // 2 sets x 4 ways
+	for _, impl := range []string{"fast", "ref"} {
+		var access func(uint64) bool
+		if impl == "fast" {
+			access = NewTLB(geom).Access
+		} else {
+			access = NewRefTLB(geom).Access
+		}
+		// Pages 0,2,4,6 map to set 0; pages 1,3,5 to set 1.
+		for _, p := range []uint64{0, 2, 4, 6} {
+			if access(p) {
+				t.Fatalf("%s: cold access to page %d hit", impl, p)
+			}
+		}
+		// Set 1 is untouched: installing there must not disturb set 0.
+		access(1)
+		for _, p := range []uint64{0, 2, 4, 6} {
+			if !access(p) {
+				t.Errorf("%s: page %d evicted by an install in another set", impl, p)
+			}
+		}
+		// Set 0 is full; page 8 evicts its LRU (page 0, refreshed last ->
+		// LRU is page 2 after the re-touches above... order after touches
+		// is 6,4,2,0 oldest-first? re-touches went 0,2,4,6 so LRU is 0).
+		access(8)
+		if access(0) {
+			t.Errorf("%s: page 0 (LRU) should have been evicted", impl)
+		}
+		// 2 was re-installed by the miss above? No: Access(0) missed and
+		// installed page 0 again, evicting the then-LRU page 2.
+		if !access(8) || !access(6) || !access(4) {
+			t.Errorf("%s: recently used pages evicted", impl)
+		}
+	}
+}
+
+// TestCacheImplEquivalence drives both cache implementations with an
+// identical randomized trace of mixed reads and writes over a small
+// geometry (so sets overflow constantly) and asserts that every probe
+// and every eviction decision agrees.
+func TestCacheImplEquivalence(t *testing.T) {
+	geom := platform.CacheGeom{SizeBytes: 8 * 64 * 4, Ways: 4, LineBytes: 64} // 8 sets x 4 ways
+	fast := New(geom)
+	ref := NewRef(geom)
+	r := rng.NewXorShift(7)
+	for i := 0; i < 200000; i++ {
+		line := r.Next() % 128 // 16 lines per set: constant overflow
+		write := r.Next()%4 == 0
+		fh := fast.Access(line, write)
+		rh := ref.Access(line, write)
+		if fh != rh {
+			t.Fatalf("op %d: access(%d) fast=%v ref=%v", i, line, fh, rh)
+		}
+		if !fh {
+			fe, fd, fok := fast.Fill(line, write)
+			re, rd, rok := ref.Fill(line, write)
+			if fok != rok || (fok && (fe != re || fd != rd)) {
+				t.Fatalf("op %d: fill(%d) fast=(%d,%v,%v) ref=(%d,%v,%v)", i, line, fe, fd, fok, re, rd, rok)
+			}
+		}
+	}
+}
+
+// TestCacheFusedEquivalence drives AccessOrFill against a RefCache using
+// separate Access+Fill on the same trace.
+func TestCacheFusedEquivalence(t *testing.T) {
+	geom := platform.CacheGeom{SizeBytes: 4 * 64 * 8, Ways: 8, LineBytes: 64} // 4 sets x 8 ways
+	fast := New(geom)
+	ref := NewRef(geom)
+	r := rng.NewXorShift(11)
+	for i := 0; i < 200000; i++ {
+		line := r.Next() % 96
+		write := r.Next()%3 == 0
+		fh, fe, fd, fok := fast.AccessOrFill(line, write)
+		rh := ref.Access(line, write)
+		if fh != rh {
+			t.Fatalf("op %d: line %d fast hit=%v ref hit=%v", i, line, fh, rh)
+		}
+		if !rh {
+			re, rd, rok := ref.Fill(line, write)
+			if fok != rok || (fok && (fe != re || fd != rd)) {
+				t.Fatalf("op %d: line %d eviction fast=(%d,%v,%v) ref=(%d,%v,%v)", i, line, fe, fd, fok, re, rd, rok)
+			}
+		}
+	}
+}
+
+// TestTLBImplEquivalence drives both TLB implementations with the same
+// randomized page trace.
+func TestTLBImplEquivalence(t *testing.T) {
+	geom := platform.TLBGeom{Entries: 16, Ways: 4} // 4 sets x 4 ways
+	fast := NewTLB(geom)
+	ref := NewRefTLB(geom)
+	r := rng.NewXorShift(13)
+	for i := 0; i < 200000; i++ {
+		page := r.Next() % 64
+		fh := fast.Access(page)
+		rh := ref.Access(page)
+		if fh != rh {
+			t.Fatalf("op %d: access(page %d) fast=%v ref=%v", i, page, fh, rh)
+		}
+		// After any probe (hit or miss-install) the page is its set's MRU.
+		if !fast.MRUHit(page) {
+			t.Fatalf("op %d: page %d not MRU after probe", i, page)
+		}
+	}
+}

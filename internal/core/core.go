@@ -79,24 +79,29 @@ func (s Setting) Mode() engine.Mode {
 type Options struct {
 	Plat    *platform.Platform // default: XeonGold6326
 	Setting Setting
-	Node    int              // home NUMA node for data and threads
-	Policy  sgx.AllocPolicy  // default: PreAllocated / EnclaveStatic
-	OS      sgx.OSCosts      // default: sgx.DefaultOSCosts
-	SGX     engine.SGXCosts  // default: engine.DefaultSGXCosts
-	Space   *mem.Space       // default: fresh space per Env
+	Node    int             // home NUMA node for data and threads
+	Policy  sgx.AllocPolicy // default: PreAllocated / EnclaveStatic
+	OS      sgx.OSCosts     // default: sgx.DefaultOSCosts
+	SGX     engine.SGXCosts // default: engine.DefaultSGXCosts
+	Space   *mem.Space      // default: fresh space per Env
+	// Reference selects the engine's per-op reference path instead of the
+	// batched fast path. Simulated results and statistics are identical
+	// by construction (golden-tested); only host wall-clock differs.
+	Reference bool
 }
 
 // Env is one fully configured execution environment.
 type Env struct {
-	Plat    *platform.Platform
-	Space   *mem.Space
-	Setting Setting
-	Mode    engine.Mode
-	OS      sgx.OSCosts
-	SGX     engine.SGXCosts
-	Node    int
-	Alloc   *sgx.Allocator
-	Enclave *sgx.Enclave // nil outside enclaves
+	Plat      *platform.Platform
+	Space     *mem.Space
+	Setting   Setting
+	Mode      engine.Mode
+	OS        sgx.OSCosts
+	SGX       engine.SGXCosts
+	Node      int
+	Reference bool // per-op reference engine path (see Options.Reference)
+	Alloc     *sgx.Allocator
+	Enclave   *sgx.Enclave // nil outside enclaves
 }
 
 // NewEnv builds an environment for the given options.
@@ -121,13 +126,14 @@ func NewEnv(o Options) *Env {
 		policy = sgx.EnclaveStatic
 	}
 	e := &Env{
-		Plat:    o.Plat,
-		Space:   o.Space,
-		Setting: o.Setting,
-		Mode:    o.Setting.Mode(),
-		OS:      o.OS,
-		SGX:     o.SGX,
-		Node:    o.Node,
+		Plat:      o.Plat,
+		Space:     o.Space,
+		Setting:   o.Setting,
+		Mode:      o.Setting.Mode(),
+		OS:        o.OS,
+		SGX:       o.SGX,
+		Node:      o.Node,
+		Reference: o.Reference,
 	}
 	e.Alloc = sgx.NewAllocator(o.Space, e.DataRegion(), policy, o.OS)
 	if o.Setting.InEnclave() {
@@ -150,7 +156,7 @@ func (e *Env) RegionOn(node int) mem.Region {
 
 // EngineConfig returns the thread construction config for this Env.
 func (e *Env) EngineConfig() engine.Config {
-	return engine.Config{Plat: e.Plat, Mode: e.Mode, Costs: e.SGX, Node: e.Node}
+	return engine.Config{Plat: e.Plat, Mode: e.Mode, Costs: e.SGX, Node: e.Node, Reference: e.Reference}
 }
 
 // NewGroup creates a thread group homed on e.Node. nodeOf may remap

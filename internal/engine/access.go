@@ -15,67 +15,53 @@ const (
 	epcmWindow = uint64(3) << 42
 )
 
-// access charges one memory access (after TLB translation) and returns
-// (latency, llcMiss, bandwidthPaced). The latency of paced accesses is a
-// cycle-advance, not a completion latency (see Load).
+// noPage is the empty value of the one-entry translation cache: no real
+// translation can produce it (simulated addresses stay far below 2^63).
+const noPage = ^uint64(0)
+
+// Memory accesses charge (latency, llcMiss, bandwidthPaced) through
+// refAccess (per-op reference) or fastAccess (batched fast path); both
+// perform the identical simulated state transition. The latency of paced
+// accesses is a cycle-advance, not a completion latency (see Load).
 //
 // For accesses that are part of a detected sequential stream the
 // translation latency is not charged: the hardware page walker runs ahead
 // of the stream alongside the prefetcher, so scans observe pure bandwidth
 // — this is why the paper's EPCM-check overhead hurts random accesses
 // (Fig 5) but leaves linear scans at ~-3 % (Fig 13).
-func (t *Thread) access(b *mem.Buffer, off int64, write bool, issue uint64) (lat uint64, llcMiss, paced bool) {
+
+// refAccess is the original per-op implementation: a full stream-table
+// scan, a full TLB probe and separate probe/fill cache walks for every
+// access, over the timestamp-LRU reference structures. Kept as the
+// golden-test baseline.
+func (t *Thread) refAccess(b *mem.Buffer, off int64, write bool) (lat uint64, llcMiss, paced bool) {
 	addr := b.Base + uint64(off)
 	remote := b.Reg.Node != t.Node
 	epc := b.Reg.Kind == mem.EPC
-	inStream := t.trainStream(addr)
+	inStream := t.refTrainStream(addr)
 
 	// --- Translation ---
 	var tlbLat uint64
 	page := addr / uint64(t.Plat.PageBytes)
-	if !t.dtlb.Access(page) {
-		if t.stlb.Access(page) {
+	if !t.rdtlb.Access(page) {
+		if t.rstlb.Access(page) {
 			tlbLat += t.Plat.LatSTLB
 		} else {
-			t.st.TLBWalks++
-			tlbLat += t.Plat.LatPageWalk
-			for i := 0; i < t.Plat.PTEAccesses; i++ {
-				// Walk levels have decreasing footprint and increasing
-				// locality: level i covers page>>(9*i). Each level gets
-				// its own sub-window so entries do not alias.
-				pteAddr := pteWindow + uint64(i)<<40 + (page>>uint(9*i))<<3
-				l, _ := t.hierAccess(pteAddr, false, b.Reg.Node, false, remote)
-				tlbLat += l
-				t.st.MetaAcc++
-			}
-			if epc {
-				// EPCM security checks on enclave address translation
-				// (Section 4.1: "most of the security guarantees of Intel
-				// SGX are enforced by adding checks to address
-				// translation. This increases the cost of TLB misses").
-				// EPCM metadata lives in the PRM: its lines are encrypted
-				// like any EPC line and large enclave working sets push
-				// it out of the LLC, which is what drives random enclave
-				// accesses towards 3x (Fig 5).
-				tlbLat += t.Costs.EPCMCheckCycles
-				for i := 0; i < t.Costs.EPCMAccesses; i++ {
-					eAddr := epcmWindow + (page*uint64(t.Costs.EPCMAccesses)+uint64(i))<<6
-					l, _ := t.hierAccess(eAddr, false, b.Reg.Node, true, remote)
-					tlbLat += l
-					t.st.MetaAcc++
-				}
-			}
+			tlbLat += t.walkPage(page, b.Reg.Node, epc, remote)
 		}
 	}
 
 	// --- Data ---
-	dl, level := t.hierAccess(addr, write, b.Reg.Node, epc, remote)
+	dl, level := t.refHier(addr, write, b.Reg.Node, epc, remote)
 	if level == levelDRAM {
 		t.st.DRAMAcc++
 		if inStream {
 			// Prefetched stream: pace at stream bandwidth instead of
 			// paying the full miss latency; translation overlaps with
-			// the stream.
+			// the stream. The reference path recomputes the pacing
+			// latency from bandwidth each time, as the model originally
+			// did; the value is bit-identical to the fast path's
+			// precomputed table.
 			bw := t.Plat.CoreStreamBW
 			if remote {
 				bw = t.Plat.RemoteStreamBW
@@ -95,6 +81,123 @@ func (t *Thread) access(b *mem.Buffer, off int64, write bool, issue uint64) (lat
 	return tlbLat + dl, false, false
 }
 
+// refTrainStream is the per-op reference implementation of the stream
+// table: a linear scan of all slots for the page's stream (and, on a
+// miss, for a neighbouring page's stream to continue), exactly as the
+// original model scanned its fully-associative table per access. It
+// performs the identical state transition to trainStream — a page's
+// stream can only ever live in that page's index pair, so the scan finds
+// the same slot direct indexing does.
+func (t *Thread) refTrainStream(addr uint64) bool {
+	line := addr >> 6
+	page := line >> t.lpShift
+	i := page & (nStreams - 1)
+	for j := range t.streams {
+		s := &t.streams[j]
+		if s.pageKey != page+1 {
+			continue
+		}
+		t.mruWay[i] = uint8(j & 1)
+		switch line - s.lastLine {
+		case 0:
+			return s.streak >= 2
+		case 1, ^uint64(0):
+			s.streak++
+			s.lastLine = line
+			return s.streak >= 2
+		}
+		s.lastLine = line
+		s.streak = 0
+		return false
+	}
+	var streak uint64
+	for j := range t.streams {
+		s := &t.streams[j]
+		// pageKey is page+1 of the tracked page, so a slot tracking
+		// page-1 has pageKey == page; guard page != 0 so empty slots
+		// (pageKey 0) can never match.
+		if page != 0 && s.pageKey == page && line == s.lastLine+1 {
+			streak = s.streak + 1
+			break
+		}
+		if s.pageKey == page+2 && line+1 == s.lastLine {
+			streak = s.streak + 1
+			break
+		}
+	}
+	w := 1 - int(t.mruWay[i])
+	t.streams[2*i+uint64(w)] = stream{pageKey: page + 1, lastLine: line, streak: streak}
+	t.mruWay[i] = uint8(w)
+	return streak >= 2
+}
+
+// fastTranslate performs the full translation for a page that misses the
+// one-entry last-page cache, updating it. Callers pre-check
+// dtlb.MRUHit(page) inline (a DTLB-set-MRU page hits without any state
+// change), so this function runs only when a real probe is needed.
+func (t *Thread) fastTranslate(page uint64, b *mem.Buffer) uint64 {
+	var tlbLat uint64
+	if !t.dtlb.Access(page) {
+		if t.stlb.Access(page) {
+			tlbLat = t.Plat.LatSTLB
+		} else {
+			remote := b.Reg.Node != t.Node
+			tlbLat = t.walkPage(page, b.Reg.Node, b.Reg.Kind == mem.EPC, remote)
+		}
+	}
+	t.lastPage = page
+	return tlbLat
+}
+
+// pacedAdvance returns the per-line cycle advance of a bandwidth-paced
+// stream fill (precomputed at thread construction).
+func (t *Thread) pacedAdvance(epc, remote bool) uint64 {
+	i := 0
+	if epc {
+		i = 1
+	}
+	if remote {
+		i |= 2
+	}
+	return t.pacedLat[i]
+}
+
+// walkPage charges a hardware page walk (on STLB miss): the base walk
+// latency, the PTE fetches through the cache hierarchy, and — for EPC
+// pages — the EPCM security checks. Shared by both access paths; the
+// metadata fetches go through the mode-appropriate hierarchy walk.
+func (t *Thread) walkPage(page uint64, homeNode int, epc, remote bool) uint64 {
+	t.st.TLBWalks++
+	tlbLat := t.Plat.LatPageWalk
+	for i := 0; i < t.Plat.PTEAccesses; i++ {
+		// Walk levels have decreasing footprint and increasing
+		// locality: level i covers page>>(9*i). Each level gets
+		// its own sub-window so entries do not alias.
+		pteAddr := pteWindow + uint64(i)<<40 + (page>>uint(9*i))<<3
+		l, _ := t.hier(pteAddr, false, homeNode, false, remote)
+		tlbLat += l
+		t.st.MetaAcc++
+	}
+	if epc {
+		// EPCM security checks on enclave address translation
+		// (Section 4.1: "most of the security guarantees of Intel
+		// SGX are enforced by adding checks to address
+		// translation. This increases the cost of TLB misses").
+		// EPCM metadata lives in the PRM: its lines are encrypted
+		// like any EPC line and large enclave working sets push
+		// it out of the LLC, which is what drives random enclave
+		// accesses towards 3x (Fig 5).
+		tlbLat += t.Costs.EPCMCheckCycles
+		for i := 0; i < t.Costs.EPCMAccesses; i++ {
+			eAddr := epcmWindow + (page*uint64(t.Costs.EPCMAccesses)+uint64(i))<<6
+			l, _ := t.hier(eAddr, false, homeNode, true, remote)
+			tlbLat += l
+			t.st.MetaAcc++
+		}
+	}
+	return tlbLat
+}
+
 type level int
 
 const (
@@ -104,30 +207,72 @@ const (
 	levelDRAM
 )
 
-// hierAccess walks the cache hierarchy for one line, filling on miss, and
-// returns the latency and the level that served the access. DRAM-level
-// costs include SGX adders (TME-MK decryption for EPC lines, UPI transfer
-// and UCE encryption for remote lines) and are accounted in the byte
-// counters used for phase-level bandwidth composition.
-func (t *Thread) hierAccess(addr uint64, write bool, homeNode int, epc, remote bool) (uint64, level) {
-	line := t.l1.LineOf(addr)
-	lineBytes := uint64(t.Plat.L1D.LineBytes)
-	if t.l1.Access(line, write) {
+// hier dispatches a hierarchy walk to the mode-appropriate implementation.
+func (t *Thread) hier(addr uint64, write bool, homeNode int, epc, remote bool) (uint64, level) {
+	if t.ref {
+		return t.refHier(addr, write, homeNode, epc, remote)
+	}
+	return t.fastHier(addr, write, homeNode, epc, remote)
+}
+
+// refHier walks the cache hierarchy for one line, filling on miss, and
+// returns the latency and the level that served the access — the original
+// separate-probe-then-fill implementation. DRAM-level costs include SGX
+// adders (TME-MK decryption for EPC lines, UPI transfer and UCE encryption
+// for remote lines) and are accounted in the byte counters used for
+// phase-level bandwidth composition.
+func (t *Thread) refHier(addr uint64, write bool, homeNode int, epc, remote bool) (uint64, level) {
+	line := t.rl1.LineOf(addr)
+	if t.rl1.Access(line, write) {
 		t.st.L1Hits++
 		return t.Plat.LatL1, levelL1
 	}
-	if t.l2.Access(line, write) {
-		t.l1.Fill(line, write)
+	if t.rl2.Access(line, write) {
+		t.rl1.Fill(line, write)
 		t.st.L2Hits++
 		return t.Plat.LatL2, levelL2
 	}
-	if t.l3.Access(line, write) {
-		t.l2.Fill(line, write)
-		t.l1.Fill(line, write)
+	if t.rl3.Access(line, write) {
+		t.rl2.Fill(line, write)
+		t.rl1.Fill(line, write)
 		t.st.L3Hits++
 		return t.Plat.LatL3, levelL3
 	}
-	// DRAM access.
+	t.rl1.Fill(line, write)
+	t.rl2.Fill(line, write)
+	_, dirty, ok := t.rl3.Fill(line, write)
+	return t.dramFill(write, homeNode, epc, remote, ok && dirty), levelDRAM
+}
+
+// fastHier is the fused-probe implementation of the identical hierarchy
+// walk: each level is probed and, on a miss, filled in a single pass over
+// the set, so misses never rescan it. The L1 hit exit is the short common
+// path — one probe of the recency-ordered set and no further accounting.
+func (t *Thread) fastHier(addr uint64, write bool, homeNode int, epc, remote bool) (uint64, level) {
+	line := t.l1.LineOf(addr)
+	// Seed every level the probe reaches: a level that misses is filled
+	// immediately (the original path fills it later in the same access —
+	// the merged probe performs the same insertion in one pass).
+	if hit, _, _, _ := t.l1.AccessOrFill(line, write); hit {
+		t.st.L1Hits++
+		return t.Plat.LatL1, levelL1
+	}
+	if hit, _, _, _ := t.l2.AccessOrFill(line, write); hit {
+		t.st.L2Hits++
+		return t.Plat.LatL2, levelL2
+	}
+	hit, _, dirty, ok := t.l3.AccessOrFill(line, write)
+	if hit {
+		t.st.L3Hits++
+		return t.Plat.LatL3, levelL3
+	}
+	return t.dramFill(write, homeNode, epc, remote, ok && dirty), levelDRAM
+}
+
+// dramFill accounts a DRAM-level line transfer: latency adders, per-socket
+// byte counters, write-allocate writeback traffic and a dirty L3 eviction.
+func (t *Thread) dramFill(write bool, homeNode int, epc, remote, evictedDirty bool) uint64 {
+	lineBytes := uint64(t.Plat.L1D.LineBytes)
 	lat := t.Plat.LatDRAM
 	if remote {
 		lat += t.Plat.LatRemote
@@ -152,56 +297,106 @@ func (t *Thread) hierAccess(addr uint64, write bool, homeNode int, epc, remote b
 			t.st.UPIBytes += lineBytes
 		}
 	}
-	t.l1.Fill(line, write)
-	t.l2.Fill(line, write)
-	if _, dirty, ok := t.l3.Fill(line, write); ok && dirty {
+	if evictedDirty {
 		t.st.EvictedDirty++
 		t.st.DRAMBytes[node] += lineBytes
 	}
-	return lat, levelDRAM
+	return lat
 }
 
 // trainStream updates the prefetcher's stream table and reports whether
 // the access at addr continues a detected sequential stream (two or more
-// consecutive lines). A small fully-associative table of 16 streams is
-// tracked, mirroring hardware stream prefetchers.
+// consecutive lines). The table is direct-mapped by 4 KiB page, as in
+// hardware stream prefetchers that track per-page state: training is O(1)
+// — no table scan and no replacement ambiguity — which is what lets both
+// the per-op and batched paths share it bit for bit. Streams track
+// ascending and descending runs (descending matters for CrkJoin's
+// two-pointer pass) and carry their streak across page boundaries by
+// migrating to the neighbouring page's slot.
 func (t *Thread) trainStream(addr uint64) bool {
 	line := addr >> 6
-	t.streamTick++
-	// Look for a stream this line extends (ascending, descending, or a
-	// re-touch of the current line). Hardware stream prefetchers track
-	// both directions; descending matters for CrkJoin's two-pointer pass.
-	victim := 0
-	var oldest uint64 = ^uint64(0)
-	for i := range t.streams {
-		s := &t.streams[i]
-		if s.lastUse != 0 && (line == s.lastLine+1 || line == s.lastLine || line+1 == s.lastLine) {
-			if line != s.lastLine {
-				s.streak++
+	page := line >> t.lpShift
+	i := page & (nStreams - 1)
+	w := 0
+	s := &t.streams[2*i]
+	if s.pageKey != page+1 {
+		if s2 := &t.streams[2*i+1]; s2.pageKey == page+1 {
+			s, w = s2, 1
+		} else {
+			// No stream tracks this page yet: claim the non-MRU way.
+			// Cross-page continuation carries the streak over — an
+			// ascending stream arrives from the previous page's slot, a
+			// descending one from the next page's. Only the page's first
+			// (resp. last) line can continue a neighbouring stream, so
+			// the neighbour lookups are skipped everywhere else.
+			var streak uint64
+			if lineInPage := line & (1<<t.lpShift - 1); lineInPage == 0 {
+				if p := t.streamAt(page - 1); p != nil && line == p.lastLine+1 {
+					streak = p.streak + 1
+				}
+			} else if lineInPage == 1<<t.lpShift-1 {
+				if n := t.streamAt(page + 1); n != nil && line+1 == n.lastLine {
+					streak = n.streak + 1
+				}
 			}
-			s.lastLine = line
-			s.lastUse = t.streamTick
-			return s.streak >= 2
-		}
-		if s.lastUse < oldest {
-			oldest = s.lastUse
-			victim = i
+			w = 1 - int(t.mruWay[i])
+			s = &t.streams[2*i+uint64(w)]
+			*s = stream{pageKey: page + 1, lastLine: line, streak: streak}
+			t.mruWay[i] = uint8(w)
+			return streak >= 2
 		}
 	}
-	// New potential stream replaces the least recently used slot.
-	t.streams[victim] = stream{lastLine: line, streak: 0, lastUse: t.streamTick}
+	t.mruWay[i] = uint8(w)
+	switch line - s.lastLine {
+	case 0: // re-touch of the current line keeps the stream alive
+		return s.streak >= 2
+	case 1, ^uint64(0): // ascending or descending continuation
+		s.streak++
+		s.lastLine = line
+		return s.streak >= 2
+	}
+	// Jump within the page: restart detection.
+	s.lastLine = line
+	s.streak = 0
 	return false
+}
+
+// streamAt returns the stream tracking page, if any. The page+1 == 0
+// guard keeps an underflowed neighbour index (page 0 minus one) from
+// matching empty slots, mirroring refTrainStream's page != 0 guard.
+func (t *Thread) streamAt(page uint64) *stream {
+	if page+1 == 0 {
+		return nil
+	}
+	i := page & (nStreams - 1)
+	if s := &t.streams[2*i]; s.pageKey == page+1 {
+		return s
+	}
+	if s := &t.streams[2*i+1]; s.pageKey == page+1 {
+		return s
+	}
+	return nil
 }
 
 // ResetMemoryState clears caches, TLBs and the prefetcher table (cold
 // start). Counters and the clock are preserved.
 func (t *Thread) ResetMemoryState() {
-	t.l1.Reset()
-	t.l2.Reset()
-	t.l3.Reset()
-	t.dtlb.Reset()
-	t.stlb.Reset()
-	t.streams = [nStreams]stream{}
+	if t.ref {
+		t.rl1.Reset()
+		t.rl2.Reset()
+		t.rl3.Reset()
+		t.rdtlb.Reset()
+		t.rstlb.Reset()
+	} else {
+		t.l1.Reset()
+		t.l2.Reset()
+		t.l3.Reset()
+		t.dtlb.Reset()
+		t.stlb.Reset()
+	}
+	t.streams = [2 * nStreams]stream{}
+	t.mruWay = [nStreams]uint8{}
+	t.lastPage = noPage
 	for i := range t.mlp {
 		t.mlp[i] = 0
 	}

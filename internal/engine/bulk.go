@@ -1,0 +1,374 @@
+package engine
+
+import "sgxbench/internal/mem"
+
+// Bulk (batched) memory APIs. Each call charges a run of N sequential
+// accesses in one engine invocation, amortizing the host-side cost of the
+// simulation: range checking, buffer placement resolution, stream
+// training and address translation fold into per-run and per-page strides
+// instead of per-op probes. In reference mode (Config.Reference) every
+// bulk call decomposes into the equivalent sequence of per-op Load/Store
+// calls; by the engine's fast-path invariant the two produce bit-identical
+// simulated statistics and state, which the golden tests assert.
+
+// LoadRun charges n loads of elem bytes each at consecutive offsets
+// off, off+elem, ..., off+(n-1)*elem. dep is the address dependency of
+// every element (zero for statically known addresses, as in a sequential
+// scan). It returns the token of the last element's value.
+func (t *Thread) LoadRun(b *mem.Buffer, off, elem int64, n int, dep Tok) Tok {
+	if n <= 0 {
+		return dep
+	}
+	t.checkRange(b, off, elem*int64(n))
+	if t.ref {
+		// Reference decomposition: the true per-op API, one call per
+		// element, exactly as the pre-batching code issued them.
+		var done Tok
+		for i := 0; i < n; i++ {
+			done = t.Load(b, off, elem, dep)
+			off += elem
+		}
+		return done
+	}
+	return t.fastLoadRun(b, off, elem, n, dep, nil)
+}
+
+// LoadRunToks is LoadRun but records each element's completion token in
+// toks[:n] (used by the unroll+reorder kernels, which need per-element
+// dataflow tokens for the dependent stores they group behind the loads).
+func (t *Thread) LoadRunToks(b *mem.Buffer, off, elem int64, n int, dep Tok, toks []Tok) {
+	if n <= 0 {
+		return
+	}
+	t.checkRange(b, off, elem*int64(n))
+	if t.ref {
+		for i := 0; i < n; i++ {
+			toks[i] = t.Load(b, off, elem, dep)
+			off += elem
+		}
+		return
+	}
+	t.fastLoadRun(b, off, elem, n, dep, toks)
+}
+
+// LoadLines charges nLines full cache-line (64-byte vector) loads
+// starting at byte offset off; the final line is clamped to the buffer
+// end, mirroring LoadLine. This is the scan hot-path primitive: one call
+// charges a whole block of a sequential scan.
+func (t *Thread) LoadLines(b *mem.Buffer, off int64, nLines int, dep Tok) Tok {
+	if nLines <= 0 {
+		return dep
+	}
+	span := b.Size - off
+	if span > int64(nLines)*64 {
+		span = int64(nLines) * 64
+	}
+	t.checkRange(b, off, span)
+	// Clamp the charged run to lines that actually start inside the
+	// buffer, so an over-long nLines cannot simulate nonexistent lines
+	// (the reference decomposition would panic on them).
+	if maxLines := int((span + 63) / 64); nLines > maxLines {
+		nLines = maxLines
+	}
+	if t.ref {
+		var done Tok
+		for i := 0; i < nLines; i++ {
+			done = LoadLine(t, b, off, dep)
+			off += 64
+		}
+		return done
+	}
+	return t.fastLoadRun(b, off, 64, nLines, dep, nil)
+}
+
+// fastLoadRun is the batched fast path shared by the Load* bulk APIs: one
+// tight loop whose per-element state transitions are exactly those of
+// loadStep, with the run-invariant work hoisted — buffer placement, the
+// pacing latency, and the prefetcher stream slot, which a sequential run
+// keeps extending without re-resolving.
+func (t *Thread) fastLoadRun(b *mem.Buffer, off, elem int64, n int, dep Tok, toks []Tok) Tok {
+	addr := b.Base + uint64(off)
+	step := uint64(elem)
+	node := b.Reg.Node
+	remote := node != t.Node
+	epc := b.Reg.Kind == mem.EPC
+	paced := t.pacedAdvance(epc, remote)
+	t.st.Loads += uint64(n)
+	var done Tok
+	var sl *stream // stream slot the run is extending (nil: re-resolve)
+	for i := 0; i < n; i++ {
+		issue := Tok(t.issueTick())
+		if dep > issue {
+			issue = dep
+		}
+		issue = t.loadGate(issue)
+		line := addr >> 6
+		// Stream training: within the run only this loop touches the
+		// table, so the current page's slot stays valid until the run
+		// crosses into the next page.
+		var inStream, trained bool
+		if sl != nil && sl.pageKey == (line>>t.lpShift)+1 {
+			switch line - sl.lastLine {
+			case 0:
+				inStream, trained = sl.streak >= 2, true
+			case 1:
+				sl.streak++
+				sl.lastLine = line
+				inStream, trained = sl.streak >= 2, true
+			}
+		}
+		if !trained {
+			inStream = t.trainStream(addr)
+			sl = t.streamAt(line >> t.lpShift)
+		}
+		// Translation (one-entry page cache; runs re-translate per page).
+		var tlbLat uint64
+		page := addr >> t.pageShift
+		if page != t.lastPage {
+			if t.dtlb.MRUHit(page) {
+				t.lastPage = page
+			} else {
+				tlbLat = t.fastTranslate(page, b)
+			}
+		}
+		// Fused hierarchy walk.
+		if hit, _, _, _ := t.l1.AccessOrFillStream(line, false); hit {
+			t.st.L1Hits++
+			done = issue + Tok(tlbLat+t.latL1)
+		} else if hit, _, _, _ := t.l2.AccessOrFillStream(line, false); hit {
+			t.st.L2Hits++
+			done = issue + Tok(tlbLat+t.latL2)
+		} else if hit, _, dirty, ok := t.l3.AccessOrFillStream(line, false); hit {
+			t.st.L3Hits++
+			done = issue + Tok(tlbLat+t.latL3)
+		} else {
+			dl := t.dramFill(false, node, epc, remote, ok && dirty)
+			t.st.DRAMAcc++
+			if inStream {
+				t.st.StreamFills++
+				t.cycle = uint64(issue) + paced
+				done = Tok(t.cycle)
+			} else {
+				t.st.RandomFills++
+				slot := t.minSlot()
+				start := maxTok(issue, Tok(t.mlp[slot]))
+				done = start + Tok(tlbLat+dl)
+				t.mlp[slot] = uint64(done)
+			}
+		}
+		if toks != nil {
+			toks[i] = done
+		}
+		addr += step
+	}
+	return done
+}
+
+// StoreRun charges n stores of elem bytes each at consecutive offsets.
+// addrDep and dataDep apply to every element (sequential result writes
+// have statically known addresses, so addrDep is normally zero). It
+// returns the forwarding token of the last store.
+func (t *Thread) StoreRun(b *mem.Buffer, off, elem int64, n int, addrDep, dataDep Tok) Tok {
+	if n <= 0 {
+		return dataDep
+	}
+	t.checkRange(b, off, elem*int64(n))
+	if t.ref {
+		var done Tok
+		for i := 0; i < n; i++ {
+			done = t.Store(b, off, elem, addrDep, dataDep)
+			off += elem
+		}
+		return done
+	}
+	addr := b.Base + uint64(off)
+	step := uint64(elem)
+	node := b.Reg.Node
+	remote := node != t.Node
+	epc := b.Reg.Kind == mem.EPC
+	pacedLat := t.pacedAdvance(epc, remote)
+	t.st.Stores += uint64(n)
+	var fwd Tok
+	var sl *stream
+	for i := 0; i < n; i++ {
+		issue := Tok(t.issueTick())
+		addrKnown := maxTok(issue, addrDep)
+		if uint64(addrKnown) > t.storeBarrier {
+			t.storeBarrier = uint64(addrKnown)
+		}
+		line := addr >> 6
+		var inStream, trained bool
+		if sl != nil && sl.pageKey == (line>>t.lpShift)+1 {
+			switch line - sl.lastLine {
+			case 0:
+				inStream, trained = sl.streak >= 2, true
+			case 1:
+				sl.streak++
+				sl.lastLine = line
+				inStream, trained = sl.streak >= 2, true
+			}
+		}
+		if !trained {
+			inStream = t.trainStream(addr)
+			sl = t.streamAt(line >> t.lpShift)
+		}
+		var tlbLat uint64
+		page := addr >> t.pageShift
+		if page != t.lastPage {
+			if t.dtlb.MRUHit(page) {
+				t.lastPage = page
+			} else {
+				tlbLat = t.fastTranslate(page, b)
+			}
+		}
+		ready := maxTok(addrKnown, dataDep)
+		var done Tok
+		if hit, _, _, _ := t.l1.AccessOrFillStream(line, true); hit {
+			t.st.L1Hits++
+			done = ready + Tok(tlbLat+t.latL1)
+		} else if hit, _, _, _ := t.l2.AccessOrFillStream(line, true); hit {
+			t.st.L2Hits++
+			done = ready + Tok(tlbLat+t.latL2)
+		} else if hit, _, dirty, ok := t.l3.AccessOrFillStream(line, true); hit {
+			t.st.L3Hits++
+			done = ready + Tok(tlbLat+t.latL3)
+		} else {
+			dl := t.dramFill(true, node, epc, remote, ok && dirty)
+			t.st.DRAMAcc++
+			if inStream {
+				t.st.StreamFills++
+				t.cycle = uint64(issue) + pacedLat
+				done = maxTok(ready, Tok(t.cycle))
+			} else {
+				t.st.RandomFills++
+				slot := t.minSlot()
+				start := maxTok(ready, Tok(t.mlp[slot]))
+				done = start + Tok(tlbLat+dl)
+				t.mlp[slot] = uint64(done)
+			}
+		}
+		if t.sbuf[t.sbufPos] > t.cycle {
+			t.cycle = t.sbuf[t.sbufPos]
+		}
+		t.sbuf[t.sbufPos] = uint64(done)
+		if t.sbufPos++; t.sbufPos == len(t.sbuf) {
+			t.sbufPos = 0
+		}
+		fwd = maxTok(ready, dataDep) + 5
+		addr += step
+	}
+	return fwd
+}
+
+// fastLoadOne is the fused per-op fast path of Load: the issue, gating,
+// stream-training, translation, hierarchy walk and completion accounting
+// of one load in a single function, with the identical state transition
+// to the reference path.
+func (t *Thread) fastLoadOne(b *mem.Buffer, off int64, dep Tok) Tok {
+	issue := Tok(t.issueTick())
+	if dep > issue {
+		issue = dep
+	}
+	issue = t.loadGate(issue)
+	t.st.Loads++
+	addr := b.Base + uint64(off)
+	inStream := t.trainStream(addr)
+	var tlbLat uint64
+	page := addr >> t.pageShift
+	if page != t.lastPage {
+		if t.dtlb.MRUHit(page) {
+			t.lastPage = page
+		} else {
+			tlbLat = t.fastTranslate(page, b)
+		}
+	}
+	line := addr >> 6
+	if hit, _, _, _ := t.l1.AccessOrFill(line, false); hit {
+		t.st.L1Hits++
+		return issue + Tok(tlbLat+t.latL1)
+	}
+	if hit, _, _, _ := t.l2.AccessOrFill(line, false); hit {
+		t.st.L2Hits++
+		return issue + Tok(tlbLat+t.latL2)
+	}
+	hit, _, dirty, ok := t.l3.AccessOrFill(line, false)
+	if hit {
+		t.st.L3Hits++
+		return issue + Tok(tlbLat+t.latL3)
+	}
+	node := b.Reg.Node
+	remote := node != t.Node
+	epc := b.Reg.Kind == mem.EPC
+	dl := t.dramFill(false, node, epc, remote, ok && dirty)
+	t.st.DRAMAcc++
+	if inStream {
+		t.st.StreamFills++
+		t.cycle = uint64(issue) + t.pacedAdvance(epc, remote)
+		return Tok(t.cycle)
+	}
+	t.st.RandomFills++
+	slot := t.minSlot()
+	start := maxTok(issue, Tok(t.mlp[slot]))
+	done := start + Tok(tlbLat+dl)
+	t.mlp[slot] = uint64(done)
+	return done
+}
+
+// fastStoreOne is the fused per-op fast path of Store.
+func (t *Thread) fastStoreOne(b *mem.Buffer, off int64, addrDep, dataDep Tok) Tok {
+	issue := Tok(t.issueTick())
+	addrKnown := maxTok(issue, addrDep)
+	if uint64(addrKnown) > t.storeBarrier {
+		t.storeBarrier = uint64(addrKnown)
+	}
+	t.st.Stores++
+	addr := b.Base + uint64(off)
+	inStream := t.trainStream(addr)
+	var tlbLat uint64
+	page := addr >> t.pageShift
+	if page != t.lastPage {
+		if t.dtlb.MRUHit(page) {
+			t.lastPage = page
+		} else {
+			tlbLat = t.fastTranslate(page, b)
+		}
+	}
+	ready := maxTok(addrKnown, dataDep)
+	var done Tok
+	line := addr >> 6
+	if hit, _, _, _ := t.l1.AccessOrFill(line, true); hit {
+		t.st.L1Hits++
+		done = ready + Tok(tlbLat+t.latL1)
+	} else if hit, _, _, _ := t.l2.AccessOrFill(line, true); hit {
+		t.st.L2Hits++
+		done = ready + Tok(tlbLat+t.latL2)
+	} else if hit, _, dirty, ok := t.l3.AccessOrFill(line, true); hit {
+		t.st.L3Hits++
+		done = ready + Tok(tlbLat+t.latL3)
+	} else {
+		node := b.Reg.Node
+		remote := node != t.Node
+		epc := b.Reg.Kind == mem.EPC
+		dl := t.dramFill(true, node, epc, remote, ok && dirty)
+		t.st.DRAMAcc++
+		if inStream {
+			t.st.StreamFills++
+			t.cycle = uint64(issue) + t.pacedAdvance(epc, remote)
+			done = maxTok(ready, Tok(t.cycle))
+		} else {
+			t.st.RandomFills++
+			slot := t.minSlot()
+			start := maxTok(ready, Tok(t.mlp[slot]))
+			done = start + Tok(tlbLat+dl)
+			t.mlp[slot] = uint64(done)
+		}
+	}
+	if t.sbuf[t.sbufPos] > t.cycle {
+		t.cycle = t.sbuf[t.sbufPos]
+	}
+	t.sbuf[t.sbufPos] = uint64(done)
+	if t.sbufPos++; t.sbufPos == len(t.sbuf) {
+		t.sbufPos = 0
+	}
+	return maxTok(ready, dataDep) + 5
+}

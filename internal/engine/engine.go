@@ -24,10 +24,32 @@
 //
 // Invariant: the engine computes time only. It never produces or alters
 // data values, so results are bit-identical across execution modes.
+//
+// # Fast path
+//
+// Every memory operation exists in two host-side implementations that are
+// required to produce identical simulated behaviour:
+//
+//   - the per-op reference path (Config.Reference = true): the original
+//     implementation — one full TLB probe, stream-table scan and
+//     separate cache probe/fill walk per access, over the timestamp-LRU
+//     reference caches;
+//   - the batched fast path (default): bulk APIs (LoadRun, StoreRun,
+//     LoadLines) plus per-op operations over packed recency-ordered
+//     caches, a one-entry last-page translation cache in front of the
+//     DTLB, a cached prefetcher stream slot, fused probe+fill set walks
+//     and precomputed stream-pacing latencies.
+//
+// THE FAST PATH MAY NEVER CHANGE SIMULATED STATISTICS. Both paths must
+// yield bit-identical Stats (cycles, hit counts, DRAM bytes, ...) and
+// identical downstream cache/TLB state for the same access sequence; the
+// golden equivalence tests in internal/scan and internal/join enforce
+// this, and cmd/bench measures the host wall-clock gap between the two.
 package engine
 
 import (
 	"fmt"
+	"math/bits"
 
 	"sgxbench/internal/cache"
 	"sgxbench/internal/mem"
@@ -150,13 +172,21 @@ func (s *Stats) Add(o Stats) {
 }
 
 // stream tracks one detected sequential access stream for the prefetcher.
+// The table is indexed by 4 KiB page (hardware stream prefetchers track
+// per-page state) with two ways per index and a one-bit MRU choice, so
+// lookup and training are O(1) and fully deterministic — no table scan
+// and no replacement ambiguity, which is what lets the per-op and batched
+// paths share the function bit for bit. A stream that crosses into the
+// next page migrates its streak to that page's slot; the second way keeps
+// an aliasing pair of streams (e.g. a scan and its result writes) from
+// evicting each other.
 type stream struct {
+	pageKey  uint64 // page+1; 0 means empty
 	lastLine uint64
-	streak   uint32
-	lastUse  uint64
+	streak   uint64
 }
 
-const nStreams = 16
+const nStreams = 16 // stream-table indexes (x2 ways)
 
 // Thread is one simulated hardware thread with private L1/L2/TLB state and
 // a share of the socket's L3.
@@ -175,11 +205,30 @@ type Thread struct {
 	storeBarrier uint64 // running max of store address-known times
 	specCount    uint64
 
+	// Fast-path cache hierarchy (nil in reference mode).
 	l1, l2, l3 *cache.Cache
 	dtlb, stlb *cache.TLB
 
-	streams    [nStreams]stream
-	streamTick uint64
+	// Reference-mode cache hierarchy (nil on the fast path).
+	rl1, rl2, rl3 *cache.RefCache
+	rdtlb, rstlb  *cache.RefTLB
+
+	streams [2 * nStreams]stream
+	mruWay  [nStreams]uint8
+	lpShift uint // log2(lines per page) = pageShift - 6
+
+	// One-entry translation cache: the page of the most recent DTLB probe.
+	// A repeat probe of that page is guaranteed to hit at the MRU position
+	// of its set and leaves no state change, so the fast path skips it.
+	// noPage (an impossible page number) marks it empty.
+	lastPage uint64
+
+	ref       bool      // per-op reference mode (golden-test baseline)
+	pageShift uint      // log2(Plat.PageBytes)
+	pacedLat  [4]uint64 // precomputed stream-pacing cycle advance, idx = remote<<1|epc
+	// Hot platform latencies mirrored into the thread to avoid a pointer
+	// chase per access on the fast path.
+	latL1, latL2, latL3 uint64
 
 	st Stats
 }
@@ -191,6 +240,13 @@ type Config struct {
 	Costs   SGXCosts
 	Node    int
 	L3Share int // number of threads sharing the socket L3 (>=1)
+	// Reference selects the per-op reference implementation of the memory
+	// model: bulk APIs decompose into individual Load/Store calls and all
+	// probes use the original timestamp-LRU structures. Simulated results
+	// and statistics are identical either way (the fast path may never
+	// change simulated stats); Reference exists for the golden equivalence
+	// tests and as the cmd/bench baseline.
+	Reference bool
 }
 
 // NewThread creates a thread with cold caches.
@@ -215,14 +271,38 @@ func NewThread(cfg Config, id int) *Thread {
 		ID:    id,
 		mlp:   make([]uint64, cfg.Plat.MLPSlots),
 		sbuf:  make([]uint64, cfg.Plat.StoreBufSize),
-		l1:    cache.New(cfg.Plat.L1D),
-		l2:    cache.New(cfg.Plat.L2),
-		l3:    cache.New(l3geom),
-		dtlb:  cache.NewTLB(cfg.Plat.DTLB),
-		stlb:  cache.NewTLB(cfg.Plat.STLB),
+		ref:   cfg.Reference,
 	}
+	t.lastPage = noPage
+	if t.ref {
+		t.rl1 = cache.NewRef(cfg.Plat.L1D)
+		t.rl2 = cache.NewRef(cfg.Plat.L2)
+		t.rl3 = cache.NewRef(l3geom)
+		t.rdtlb = cache.NewRefTLB(cfg.Plat.DTLB)
+		t.rstlb = cache.NewRefTLB(cfg.Plat.STLB)
+	} else {
+		t.l1 = cache.New(cfg.Plat.L1D)
+		t.l2 = cache.New(cfg.Plat.L2)
+		t.l3 = cache.New(l3geom)
+		t.dtlb = cache.NewTLB(cfg.Plat.DTLB)
+		t.stlb = cache.NewTLB(cfg.Plat.STLB)
+	}
+	t.pageShift = uint(bits.TrailingZeros64(uint64(cfg.Plat.PageBytes)))
+	t.lpShift = t.pageShift - 6
+	t.latL1, t.latL2, t.latL3 = cfg.Plat.LatL1, cfg.Plat.LatL2, cfg.Plat.LatL3
+	// Stream-pacing cycle advances per line, by (remote, epc). Computed
+	// once so the fast path avoids a float divide per paced access; the
+	// expressions match the per-access formula bit for bit.
+	line := float64(cfg.Plat.L1D.LineBytes)
+	t.pacedLat[0] = uint64(line / cfg.Plat.CoreStreamBW)
+	t.pacedLat[1] = uint64(line / (cfg.Plat.CoreStreamBW * cfg.Plat.EPCStreamTax))
+	t.pacedLat[2] = uint64(line / cfg.Plat.RemoteStreamBW)
+	t.pacedLat[3] = uint64(line / (cfg.Plat.RemoteStreamBW * cfg.Costs.UPIStreamTaxEPC))
 	return t
 }
+
+// Reference reports whether the thread runs the per-op reference path.
+func (t *Thread) Reference() bool { return t.ref }
 
 // Cycle returns the thread's current cycle (issue clock; completions may
 // be outstanding — call Drain for a quiescent timestamp).
@@ -281,12 +361,10 @@ func maxTok(a, b Tok) Tok {
 	return b
 }
 
-// Load issues a load of size bytes at b[off]. dep is the token of the
-// value the *address* depends on (zero for statically known addresses).
-// It returns the token at which the loaded value is available.
-func (t *Thread) Load(b *mem.Buffer, off, size int64, dep Tok) Tok {
-	t.checkRange(b, off, size)
-	issue := maxTok(Tok(t.issueTick()), dep)
+// loadGate applies the SSB store-address barrier (mitigation on) or the
+// speculative-bypass misspeculation model (mitigation off) to a load's
+// issue token. Shared verbatim by the per-op and batched paths.
+func (t *Thread) loadGate(issue Tok) Tok {
 	if t.Mode.Mitigation {
 		if bar := Tok(t.storeBarrier); bar > issue {
 			t.st.StallSSB += uint64(bar - issue)
@@ -303,24 +381,42 @@ func (t *Thread) Load(b *mem.Buffer, off, size int64, dep Tok) Tok {
 			issue = maxTok(issue, Tok(t.cycle))
 		}
 	}
+	return issue
+}
+
+// Load issues a load of size bytes at b[off]. dep is the token of the
+// value the *address* depends on (zero for statically known addresses).
+// It returns the token at which the loaded value is available.
+func (t *Thread) Load(b *mem.Buffer, off, size int64, dep Tok) Tok {
+	t.checkRange(b, off, size)
+	if !t.ref {
+		return t.fastLoadOne(b, off, dep)
+	}
+	return t.loadStep(b, off, dep)
+}
+
+// loadStep is the per-op reference path of Load (the fast path dispatches
+// to fastLoadOne before reaching it).
+func (t *Thread) loadStep(b *mem.Buffer, off int64, dep Tok) Tok {
+	issue := maxTok(Tok(t.issueTick()), dep)
+	issue = t.loadGate(issue)
 	t.st.Loads++
-	lat, llcMiss, paced := t.access(b, off, false, uint64(issue))
-	var done Tok
+	lat, llcMiss, paced := t.refAccess(b, off, false)
 	switch {
 	case paced:
 		// Bandwidth-paced stream: the prefetcher hides latency, the core
 		// advances at stream bandwidth.
 		t.cycle = uint64(issue) + lat
-		done = Tok(t.cycle)
+		return Tok(t.cycle)
 	case llcMiss:
 		slot := t.minSlot()
 		start := maxTok(issue, Tok(t.mlp[slot]))
-		done = start + Tok(lat)
+		done := start + Tok(lat)
 		t.mlp[slot] = uint64(done)
+		return done
 	default:
-		done = issue + Tok(lat)
+		return issue + Tok(lat)
 	}
-	return done
 }
 
 // Store issues a store of size bytes at b[off]. addrDep is the token of
@@ -331,13 +427,22 @@ func (t *Thread) Load(b *mem.Buffer, off, size int64, dep Tok) Tok {
 // (store-to-load forwarding).
 func (t *Thread) Store(b *mem.Buffer, off, size int64, addrDep, dataDep Tok) Tok {
 	t.checkRange(b, off, size)
+	if !t.ref {
+		return t.fastStoreOne(b, off, addrDep, dataDep)
+	}
+	return t.storeStep(b, off, addrDep, dataDep)
+}
+
+// storeStep is the per-op reference path of Store (the fast path
+// dispatches to fastStoreOne before reaching it).
+func (t *Thread) storeStep(b *mem.Buffer, off int64, addrDep, dataDep Tok) Tok {
 	issue := Tok(t.issueTick())
 	addrKnown := maxTok(issue, addrDep)
 	if uint64(addrKnown) > t.storeBarrier {
 		t.storeBarrier = uint64(addrKnown)
 	}
 	t.st.Stores++
-	lat, llcMiss, paced := t.access(b, off, true, uint64(issue))
+	lat, llcMiss, paced := t.refAccess(b, off, true)
 	ready := maxTok(addrKnown, dataDep)
 	var done Tok
 	switch {

@@ -14,6 +14,7 @@ package exec
 
 import (
 	"sync"
+	"time"
 
 	"sgxbench/internal/engine"
 	"sgxbench/internal/platform"
@@ -33,6 +34,7 @@ type PhaseStats struct {
 	WallCycles uint64
 	Busiest    uint64 // slowest thread's cycles (before bandwidth raise)
 	BWBound    bool   // wall time was raised by a bandwidth roof
+	HostNanos  int64  // real host time spent simulating the phase
 	Agg        engine.Stats
 }
 
@@ -79,6 +81,7 @@ func (g *Group) Phase(name string, body func(t *engine.Thread, id int)) PhaseSta
 		t.SetCycle(start)
 		before[i] = t.Stats()
 	}
+	hostStart := time.Now()
 	var wg sync.WaitGroup
 	for i, t := range g.Threads {
 		wg.Add(1)
@@ -90,7 +93,7 @@ func (g *Group) Phase(name string, body func(t *engine.Thread, id int)) PhaseSta
 	}
 	wg.Wait()
 
-	ps := PhaseStats{Name: name}
+	ps := PhaseStats{Name: name, HostNanos: time.Since(hostStart).Nanoseconds()}
 	var dram [2]uint64
 	var upi uint64
 	for i, t := range g.Threads {

@@ -1,0 +1,29 @@
+package join
+
+import (
+	"testing"
+
+	"sgxbench/internal/core"
+	"sgxbench/internal/platform"
+	"sgxbench/internal/rel"
+)
+
+// The RHO join workload (100 MB ⋈ 400 MB scaled) on either engine path.
+func benchRHO(b *testing.B, ref bool) {
+	const scale = 32
+	env := core.NewEnv(core.Options{
+		Plat: platform.XeonGold6326().Scaled(scale), Setting: core.SGXDiE, Reference: ref,
+	})
+	nR := rel.RowsForMB(100) / scale
+	nS := rel.RowsForMB(400) / scale
+	build, probe := rel.GenFKPair(env.Space, nR, nS, env.DataRegion(), 1234)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewRHO().Run(env, build, probe, Options{Threads: 1, Optimized: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRHOPerOp(b *testing.B) { benchRHO(b, true) }
+func BenchmarkRHOFast(b *testing.B)  { benchRHO(b, false) }

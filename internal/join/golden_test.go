@@ -1,0 +1,107 @@
+package join
+
+import (
+	"testing"
+
+	"sgxbench/internal/core"
+	"sgxbench/internal/platform"
+	"sgxbench/internal/rel"
+)
+
+// goldenRun executes one join under one setting on either engine path.
+func goldenRun(t *testing.T, alg Algorithm, setting core.Setting, ref bool, opt Options) *Result {
+	t.Helper()
+	env := core.NewEnv(core.Options{
+		Plat:      platform.XeonGold6326().Scaled(256),
+		Setting:   setting,
+		Reference: ref,
+	})
+	nR := rel.RowsForMB(100) / 256
+	nS := rel.RowsForMB(400) / 256
+	build, probe := rel.GenFKPair(env.Space, nR, nS, env.DataRegion(), 99)
+	res, err := alg.Run(env, build, probe, opt)
+	if err != nil {
+		t.Fatalf("%s: %v", alg.Name(), err)
+	}
+	return res
+}
+
+func compareGolden(t *testing.T, label string, ref, fast *Result) {
+	t.Helper()
+	if ref.Matches != fast.Matches {
+		t.Errorf("%s: matches ref=%d fast=%d", label, ref.Matches, fast.Matches)
+	}
+	if ref.WallCycles != fast.WallCycles {
+		t.Errorf("%s: wall cycles ref=%d fast=%d", label, ref.WallCycles, fast.WallCycles)
+	}
+	if ref.Stats != fast.Stats {
+		t.Errorf("%s: stats differ\nref:  %+v\nfast: %+v", label, ref.Stats, fast.Stats)
+	}
+	if len(ref.Output) != len(fast.Output) {
+		t.Errorf("%s: output shape differs", label)
+		return
+	}
+	for i := range ref.Output {
+		if len(ref.Output[i]) != len(fast.Output[i]) {
+			t.Errorf("%s: output[%d] length ref=%d fast=%d", label, i, len(ref.Output[i]), len(fast.Output[i]))
+			continue
+		}
+		for j := range ref.Output[i] {
+			if ref.Output[i][j] != fast.Output[i][j] {
+				t.Fatalf("%s: output[%d][%d] ref=%x fast=%x", label, i, j, ref.Output[i][j], fast.Output[i][j])
+			}
+		}
+	}
+}
+
+// TestGoldenRHOEquivalence enforces the fast-path invariant on RHO under
+// every setting, in both the scalar and the unroll+reorder (optimized)
+// variants.
+func TestGoldenRHOEquivalence(t *testing.T) {
+	allSettings := []core.Setting{core.PlainCPU, core.PlainCPUM, core.SGXDoE, core.SGXDiE}
+	for _, setting := range allSettings {
+		for _, optimized := range []bool{false, true} {
+			opt := Options{Threads: 4, Optimized: optimized}
+			ref := goldenRun(t, NewRHO(), setting, true, opt)
+			fast := goldenRun(t, NewRHO(), setting, false, opt)
+			compareGolden(t, setting.String()+"/RHO/opt="+boolStr(optimized), ref, fast)
+		}
+	}
+}
+
+// TestGoldenRHOMaterialized compares materialized output single-threaded:
+// with multiple threads the output chunks are claimed from the shared
+// allocator in goroutine-scheduling order, so the simulated addresses (and
+// with them single stats) are not run-to-run deterministic in either
+// engine mode.
+func TestGoldenRHOMaterialized(t *testing.T) {
+	for _, setting := range []core.Setting{core.PlainCPU, core.SGXDiE} {
+		opt := Options{Threads: 1, Optimized: true, Materialize: true}
+		ref := goldenRun(t, NewRHO(), setting, true, opt)
+		fast := goldenRun(t, NewRHO(), setting, false, opt)
+		compareGolden(t, setting.String()+"/RHO/materialized", ref, fast)
+	}
+}
+
+// TestGoldenPHTEquivalence enforces the fast-path invariant on PHT. PHT
+// is run single-threaded: its shared-bucket build interleaves real
+// goroutine execution, so multi-threaded timing is not run-to-run
+// deterministic (in either engine mode) and cannot be compared exactly.
+func TestGoldenPHTEquivalence(t *testing.T) {
+	allSettings := []core.Setting{core.PlainCPU, core.PlainCPUM, core.SGXDoE, core.SGXDiE}
+	for _, setting := range allSettings {
+		for _, optimized := range []bool{false, true} {
+			opt := Options{Threads: 1, Optimized: optimized}
+			ref := goldenRun(t, NewPHT(), setting, true, opt)
+			fast := goldenRun(t, NewPHT(), setting, false, opt)
+			compareGolden(t, setting.String()+"/PHT/opt="+boolStr(optimized), ref, fast)
+		}
+	}
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}

@@ -82,15 +82,14 @@ func joinPartition(t *engine.Thread, R *mem.U64Buf, rLo, rHi int, S *mem.U64Buf,
 		}
 	} else {
 		const u = 8
-		var tups [u]uint64
 		var toks [u]engine.Tok
 		i := rLo
 		for ; i+u <= rHi; i += u {
+			// Load group: one batched run of u consecutive tuple loads
+			// ahead of the hash-dependent bucket stores.
+			t.LoadRunToks(&R.Buffer, R.Off(i), 8, u, 0, toks[:])
 			for j := 0; j < u; j++ {
-				tups[j], toks[j] = engine.LoadU64(t, R, i+j, 0)
-			}
-			for j := 0; j < u; j++ {
-				insert(i+j, tups[j], toks[j])
+				insert(i+j, R.D[i+j], toks[j])
 			}
 		}
 		for ; i < rHi; i++ {
@@ -136,15 +135,13 @@ func joinPartition(t *engine.Thread, R *mem.U64Buf, rLo, rHi int, S *mem.U64Buf,
 		}
 	} else {
 		const u = 8
-		var tups [u]uint64
 		var toks [u]engine.Tok
 		j := sLo
 		for ; j+u <= sHi; j += u {
+			// Load group: batched probe-side loads ahead of the chains.
+			t.LoadRunToks(&S.Buffer, S.Off(j), 8, u, 0, toks[:])
 			for l := 0; l < u; l++ {
-				tups[l], toks[l] = engine.LoadU64(t, S, j+l, 0)
-			}
-			for l := 0; l < u; l++ {
-				probeOne(tups[l], toks[l])
+				probeOne(S.D[j+l], toks[l])
 			}
 		}
 		for ; j < sHi; j++ {

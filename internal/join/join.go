@@ -21,6 +21,7 @@ package join
 
 import (
 	"fmt"
+	"math/bits"
 
 	"sgxbench/internal/core"
 	"sgxbench/internal/engine"
@@ -118,12 +119,10 @@ func hashIdx(k uint32, bits uint) uint32 { return hashKey(k) >> (32 - bits) }
 
 // log2 returns floor(log2(n)) for a power-of-two n.
 func log2(n int) uint {
-	var b uint
-	for n > 1 {
-		n >>= 1
-		b++
+	if n <= 1 {
+		return 0
 	}
-	return b
+	return uint(bits.Len(uint(n)) - 1)
 }
 
 // hashCost is the dataflow latency from key to hash/bucket index.
@@ -131,11 +130,10 @@ const hashCost = 2
 
 // nextPow2 returns the next power of two >= n (minimum 1).
 func nextPow2(n int) int {
-	p := 1
-	for p < n {
-		p <<= 1
+	if n <= 1 {
+		return 1
 	}
-	return p
+	return 1 << bits.Len(uint(n-1))
 }
 
 // chunk splits n items over workers; returns [lo, hi) for worker id.

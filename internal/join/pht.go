@@ -158,16 +158,13 @@ func (p *PHT) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Resu
 		}
 		// Optimized build: group the key loads and hash computations of a
 		// batch ahead of the count-dependent stores (Section 4.2 applied
-		// to PHT, Fig 9 "PHT O").
+		// to PHT, Fig 9 "PHT O"). The load group is one batched run.
 		toks := make([]engine.Tok, unroll)
-		tups := make([]uint64, unroll)
 		i := lo
 		for ; i+unroll <= hi; i += unroll {
+			t.LoadRunToks(&build.Tup.Buffer, build.Tup.Off(i), 8, unroll, 0, toks)
 			for j := 0; j < unroll; j++ {
-				tups[j], toks[j] = engine.LoadU64(t, build.Tup, i+j, 0)
-			}
-			for j := 0; j < unroll; j++ {
-				ht.insert(t, id, tups[j], toks[j])
+				ht.insert(t, id, build.Tup.D[i+j], toks[j])
 			}
 		}
 		for ; i < hi; i++ {
@@ -195,14 +192,11 @@ func (p *PHT) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Resu
 			}
 		} else {
 			toks := make([]engine.Tok, unroll)
-			tups := make([]uint64, unroll)
 			i := lo
 			for ; i+unroll <= hi; i += unroll {
+				t.LoadRunToks(&probe.Tup.Buffer, probe.Tup.Off(i), 8, unroll, 0, toks)
 				for j := 0; j < unroll; j++ {
-					tups[j], toks[j] = engine.LoadU64(t, probe.Tup, i+j, 0)
-				}
-				for j := 0; j < unroll; j++ {
-					m, _ := ht.probe(t, tups[j], toks[j], out)
+					m, _ := ht.probe(t, probe.Tup.D[i+j], toks[j], out)
 					local += m
 				}
 			}

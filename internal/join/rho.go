@@ -166,14 +166,18 @@ func (r *RHO) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Resu
 			for pp := id; pp < p1; pp += T {
 				lo := st.start1[pp]
 				hi := lo + st.count1[pp]
+				// Local prefix sum: batched sequential read of the
+				// partition's histogram row, then the cursor writes.
+				tok := t.LoadRun(&st.h2.Buffer, st.h2.Off(pp*p2), 4, p2, 0)
 				cum := uint32(lo)
 				for j := 0; j < p2; j++ {
-					v, tok := engine.LoadU32(t, st.h2, pp*p2+j, 0)
-					engine.StoreU32(t, st.cur2, pp*p2+j, cum, 0, engine.After(tok, 1))
+					v := st.h2.D[pp*p2+j]
+					st.cur2.D[pp*p2+j] = cum
 					st.start2[pp*p2+j] = int(cum)
 					st.count2[pp*p2+j] = int(v)
 					cum += v
 				}
+				t.StoreRun(&st.cur2.Buffer, st.cur2.Off(pp*p2), 4, p2, 0, engine.After(tok, 1))
 				kernels.Scatter(t, st.tmp, lo, hi, st.out, st.cur2, pp*p2, scatCfg(b1, b2))
 			}
 		}

@@ -1,0 +1,69 @@
+package kernels
+
+import (
+	"testing"
+
+	"sgxbench/internal/engine"
+	"sgxbench/internal/mem"
+	"sgxbench/internal/platform"
+)
+
+// benchThread builds a DiE-style thread (EPC data, mitigation on) on
+// either engine path.
+func benchThread(ref bool) (*engine.Thread, mem.Buffer) {
+	plat := platform.XeonGold6326().Scaled(32)
+	sp := mem.NewSpace(plat.Sockets)
+	reg := mem.Region{Node: 0, Kind: mem.EPC}
+	t := engine.NewThread(engine.Config{
+		Plat: plat, Mode: engine.Enclave, Costs: engine.DefaultSGXCosts(), Reference: ref,
+	}, 0)
+	return t, sp.Raw("bench", 64<<20, reg)
+}
+
+// The sequential-scan workload: the paper's streaming access pattern,
+// pure engine cost. The fast/per-op ratio here is the headline number of
+// the batched fast-path engine (cmd/bench "seq.stream").
+func benchStream(b *testing.B, ref bool) {
+	t, buf := benchThread(ref)
+	b.SetBytes(64 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		StreamRead(t, buf, 0, 64<<20)
+	}
+}
+
+func BenchmarkSeqScanPerOp(b *testing.B) { benchStream(b, true) }
+func BenchmarkSeqScanFast(b *testing.B)  { benchStream(b, false) }
+
+// The random-access micro-benchmark (Fig 5 pattern).
+func benchRandom(b *testing.B, ref bool) {
+	t, buf := benchThread(ref)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RandomAccess(t, buf, 1<<16, false, uint64(i+1))
+	}
+}
+
+func BenchmarkRandomAccessPerOp(b *testing.B) { benchRandom(b, true) }
+func BenchmarkRandomAccessFast(b *testing.B)  { benchRandom(b, false) }
+
+// The radix-histogram kernel (Listing 1, optimized form).
+func benchHist(b *testing.B, ref bool) {
+	plat := platform.XeonGold6326().Scaled(32)
+	sp := mem.NewSpace(plat.Sockets)
+	reg := mem.Region{Node: 0, Kind: mem.EPC}
+	t := engine.NewThread(engine.Config{
+		Plat: plat, Mode: engine.Enclave, Costs: engine.DefaultSGXCosts(), Reference: ref,
+	}, 0)
+	data := sp.AllocU64("data", 1<<18, reg)
+	hist := sp.AllocU32("hist", 32, reg)
+	fillTuples(data, 7)
+	cfg := HistConfig{Bits: 5, Unroll: ScalarRegBudget, Spill: sp.AllocU32("spill", 64, reg)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Histogram(t, data, 0, 1<<18, hist, 0, cfg)
+	}
+}
+
+func BenchmarkHistogramPerOp(b *testing.B) { benchHist(b, true) }
+func BenchmarkHistogramFast(b *testing.B)  { benchHist(b, false) }

@@ -105,26 +105,31 @@ func histUnrolled(t *engine.Thread, data *mem.U64Buf, lo, hi int, hist *mem.U32B
 	mask := cfg.mask()
 	idxs := make([]int, u)
 	toks := make([]engine.Tok, u)
+	var lineToks []engine.Tok
+	if cfg.AVX {
+		lineToks = make([]engine.Tok, u/AVXLanes)
+	}
 	spilled := make([]engine.Tok, u) // forwarding tokens of spilled indexes
 
 	i := lo
 	for ; i+u <= hi; i += u {
-		// Load group: compute all indexes first.
+		// Load group: one batched run of consecutive loads, then compute
+		// all indexes.
 		if cfg.AVX {
+			t.LoadRunToks(&data.Buffer, data.Off(i), 64, u/AVXLanes, 0, lineToks)
 			for j := 0; j < u; j += AVXLanes {
-				lineTok := engine.LoadLine(t, &data.Buffer, data.Off(i+j), 0)
 				t.Work(1) // vector mask+shift over 8 lanes
-				vTok := engine.After(lineTok, keyCompute)
+				vTok := engine.After(lineToks[j/AVXLanes], keyCompute)
 				for l := 0; l < AVXLanes; l++ {
 					idxs[j+l] = int((mem.TupleKey(data.D[i+j+l]) >> cfg.Shift) & mask)
 					toks[j+l] = engine.After(vTok, 1) // lane extract
 				}
 			}
 		} else {
+			t.LoadRunToks(&data.Buffer, data.Off(i), 8, u, 0, toks)
 			for j := 0; j < u; j++ {
-				tup, tok := engine.LoadU64(t, data, i+j, 0)
-				idxs[j] = int((mem.TupleKey(tup) >> cfg.Shift) & mask)
-				toks[j] = engine.After(tok, keyCompute)
+				idxs[j] = int((mem.TupleKey(data.D[i+j]) >> cfg.Shift) & mask)
+				toks[j] = engine.After(toks[j], keyCompute)
 			}
 		}
 		// Registers beyond the budget spill to the stack.

@@ -51,11 +51,17 @@ func PointerChase(t *engine.Thread, buf mem.Buffer, ops int, seed uint64) uint64
 }
 
 // StreamRead reads n bytes sequentially (line-granular vector loads),
-// the access pattern of a column scan. Returns consumed cycles.
+// the access pattern of a column scan, charged through the batched bulk
+// API one 4 KiB block at a time. Returns consumed cycles.
 func StreamRead(t *engine.Thread, buf mem.Buffer, off, n int64) uint64 {
+	const blockBytes = 4096
 	start := t.Cycle()
-	for o := off; o < off+n; o += 64 {
-		engine.LoadLine(t, &buf, o, 0)
+	for o := off; o < off+n; o += blockBytes {
+		nb := off + n - o
+		if nb > blockBytes {
+			nb = blockBytes
+		}
+		t.LoadLines(&buf, o, int((nb+63)/64), 0)
 	}
 	t.Drain()
 	return t.Cycle() - start

@@ -54,12 +54,13 @@ func scatterUnrolled(t *engine.Thread, data *mem.U64Buf, lo, hi int, out *mem.U6
 
 	i := lo
 	for ; i+u <= hi; i += u {
+		// Load group: one batched run of u consecutive tuple loads.
+		t.LoadRunToks(&data.Buffer, data.Off(i), 8, u, 0, tToks)
 		for j := 0; j < u; j++ {
-			tup, tok := engine.LoadU64(t, data, i+j, 0)
+			tup := data.D[i+j]
 			tups[j] = tup
 			parts[j] = int((mem.TupleKey(tup) >> cfg.Shift) & mask)
-			pToks[j] = engine.After(tok, keyCompute)
-			tToks[j] = tok
+			pToks[j] = engine.After(tToks[j], keyCompute)
 		}
 		for j := 0; j < u; j++ {
 			pos, posTok := engine.LoadU32(t, cur, curBase+parts[j], pToks[j])

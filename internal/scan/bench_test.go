@@ -1,0 +1,28 @@
+package scan
+
+import (
+	"testing"
+
+	"sgxbench/internal/core"
+	"sgxbench/internal/platform"
+)
+
+// The predicate-scan workload end to end (SWAR compute + engine). The
+// engine-only ratio is higher; see the kernels benchmarks.
+func benchScan(b *testing.B, ref, rowIDs bool) {
+	env := core.NewEnv(core.Options{
+		Plat: platform.XeonGold6326().Scaled(32), Setting: core.SGXDiE, Reference: ref,
+	})
+	col := env.Space.AllocU8("col", 16<<20, env.DataRegion())
+	GenColumn(col, 9)
+	b.SetBytes(16 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(env, col, Options{Threads: 1, Pred: Predicate{Lo: 16, Hi: 127}, RowIDs: rowIDs})
+	}
+}
+
+func BenchmarkScanBitVectorPerOp(b *testing.B) { benchScan(b, true, false) }
+func BenchmarkScanBitVectorFast(b *testing.B)  { benchScan(b, false, false) }
+func BenchmarkScanRowIDPerOp(b *testing.B)     { benchScan(b, true, true) }
+func BenchmarkScanRowIDFast(b *testing.B)      { benchScan(b, false, true) }

@@ -1,0 +1,67 @@
+package scan
+
+import (
+	"testing"
+
+	"sgxbench/internal/core"
+	"sgxbench/internal/engine"
+	"sgxbench/internal/platform"
+)
+
+// TestGoldenScanEquivalence enforces the engine's fast-path invariant on
+// the scan suite: under every execution setting and both output kinds,
+// the batched fast path must produce bit-identical output data and
+// bit-identical simulated statistics (cycles, hit counts, DRAM bytes, …)
+// to the per-op reference path.
+func TestGoldenScanEquivalence(t *testing.T) {
+	allSettings := []core.Setting{core.PlainCPU, core.PlainCPUM, core.SGXDoE, core.SGXDiE}
+	for _, setting := range allSettings {
+		for _, rowIDs := range []bool{false, true} {
+			run := func(ref bool) (*Result, engine.Stats) {
+				env := core.NewEnv(core.Options{
+					Plat:      platform.XeonGold6326().Scaled(256),
+					Setting:   setting,
+					Reference: ref,
+				})
+				col := env.Space.AllocU8("col", 1<<20+777, env.DataRegion())
+				GenColumn(col, 42)
+				res := Run(env, col, Options{
+					Threads: 4,
+					Pred:    Predicate{Lo: 20, Hi: 200},
+					RowIDs:  rowIDs,
+					Passes:  2,
+				})
+				var agg engine.Stats
+				for _, p := range res.Phases {
+					agg.Add(p.Agg)
+				}
+				return res, agg
+			}
+			refRes, refAgg := run(true)
+			fastRes, fastAgg := run(false)
+
+			if refRes.Matches != fastRes.Matches {
+				t.Errorf("%s rowIDs=%v: matches ref=%d fast=%d", setting, rowIDs, refRes.Matches, fastRes.Matches)
+			}
+			if refRes.WallCycles != fastRes.WallCycles {
+				t.Errorf("%s rowIDs=%v: wall cycles ref=%d fast=%d", setting, rowIDs, refRes.WallCycles, fastRes.WallCycles)
+			}
+			if refAgg != fastAgg {
+				t.Errorf("%s rowIDs=%v: stats differ\nref:  %+v\nfast: %+v", setting, rowIDs, refAgg, fastAgg)
+			}
+			if rowIDs {
+				for i := range refRes.IDs.D {
+					if refRes.IDs.D[i] != fastRes.IDs.D[i] {
+						t.Fatalf("%s: row id %d differs: ref=%d fast=%d", setting, i, refRes.IDs.D[i], fastRes.IDs.D[i])
+					}
+				}
+			} else {
+				for i := range refRes.Bits.D {
+					if refRes.Bits.D[i] != fastRes.Bits.D[i] {
+						t.Fatalf("%s: bit word %d differs: ref=%x fast=%x", setting, i, refRes.Bits.D[i], fastRes.Bits.D[i])
+					}
+				}
+			}
+		}
+	}
+}

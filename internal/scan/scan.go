@@ -1,6 +1,9 @@
 package scan
 
 import (
+	"encoding/binary"
+	"math/bits"
+
 	"sgxbench/internal/core"
 	"sgxbench/internal/engine"
 	"sgxbench/internal/exec"
@@ -11,6 +14,11 @@ import (
 // vectorWork is the charged compute per 64-byte vector: one AVX-512
 // load feeds two byte compares, a mask AND and a mask store.
 const vectorWork = 2
+
+// blockLines is the number of 64-byte lines charged per bulk engine call
+// in the scan hot loops: one call per 2 KiB of column keeps the batched
+// fast path amortized while staying well inside a thread chunk.
+const blockLines = 32
 
 // Predicate is the scan filter: lo <= value <= hi (the paper's range
 // filter with lower and upper bound).
@@ -33,6 +41,12 @@ type Result struct {
 	Bytes      int64 // input bytes scanned (per pass x passes)
 	Matches    uint64
 	Phases     []exec.PhaseStats
+	// Bits holds the packed result bit vector (bit i set = byte i
+	// matched) when Options.RowIDs is false.
+	Bits *mem.U64Buf
+	// IDs holds the materialized row indexes when Options.RowIDs is true;
+	// only the first Matches entries are meaningful.
+	IDs *mem.U64Buf
 }
 
 // Throughput returns the paper's scan metric: input bytes per second.
@@ -55,49 +69,63 @@ func GenColumn(col *mem.U8Buf, seed uint64) {
 	}
 }
 
-// bitVectorChunk scans col[lo:hi) (8-byte aligned bounds except the tail)
-// into the bit vector out (one bit per input byte), returning the match
-// count. One cache-line load covers 64 column bytes; the packed result
-// words are written sequentially — the read-heavy, write-light pattern of
-// Section 5.1.
+// lineMask computes the 64-bit match mask of one 64-byte line: bit j set
+// when col.D[off+j] is inside [loB, hiB] (broadcast bounds). The eight
+// word extractions use constant indexes into a re-sliced line so the
+// compiler drops the per-word bounds checks.
+func lineMask(d []uint8, off int, loB, hiB uint64) uint64 {
+	ln := d[off : off+64 : off+64]
+	acc := uint64(packMask(rangeMask(binary.LittleEndian.Uint64(ln[0:8]), loB, hiB)))
+	acc |= uint64(packMask(rangeMask(binary.LittleEndian.Uint64(ln[8:16]), loB, hiB))) << 8
+	acc |= uint64(packMask(rangeMask(binary.LittleEndian.Uint64(ln[16:24]), loB, hiB))) << 16
+	acc |= uint64(packMask(rangeMask(binary.LittleEndian.Uint64(ln[24:32]), loB, hiB))) << 24
+	acc |= uint64(packMask(rangeMask(binary.LittleEndian.Uint64(ln[32:40]), loB, hiB))) << 32
+	acc |= uint64(packMask(rangeMask(binary.LittleEndian.Uint64(ln[40:48]), loB, hiB))) << 40
+	acc |= uint64(packMask(rangeMask(binary.LittleEndian.Uint64(ln[48:56]), loB, hiB))) << 48
+	acc |= uint64(packMask(rangeMask(binary.LittleEndian.Uint64(ln[56:64]), loB, hiB))) << 56
+	return acc
+}
+
+// bitVectorChunk scans col[lo:hi) (64-byte aligned lo; hi unaligned only
+// in the final chunk) into the bit vector out (one bit per input byte),
+// returning the match count. The hot loop is batched: one LoadLines call
+// charges a whole block of sequential vector loads and one StoreRun
+// charges the block's packed result words — the read-heavy, write-light
+// pattern of Section 5.1 expressed through the engine's bulk APIs.
 func bitVectorChunk(t *engine.Thread, col *mem.U8Buf, lo, hi int, out *mem.U64Buf, pred Predicate) uint64 {
 	loB, hiB := broadcast(pred.Lo), broadcast(pred.Hi)
 	var matches uint64
-	var acc uint64
-	accBase := lo // first input index covered by acc
-	flush := func(end int) {
-		w := accBase / 64
-		engine.StoreU64(t, out, w, acc, 0, 0)
-		acc = 0
-		accBase = end
+	nLines := (hi - lo) / 64
+	for li := 0; li < nLines; {
+		blk := nLines - li
+		if blk > blockLines {
+			blk = blockLines
+		}
+		base := lo + li*64
+		t.LoadLines(&col.Buffer, int64(base), blk, 0)
+		t.Work(vectorWork * uint64(blk))
+		for l := 0; l < blk; l++ {
+			acc := lineMask(col.D, base+l*64, loB, hiB)
+			out.D[(base+l*64)/64] = acc
+			matches += uint64(bits.OnesCount64(acc))
+		}
+		t.StoreRun(&out.Buffer, out.Off(base/64), 8, blk, 0, 0)
+		li += blk
 	}
-	i := lo
-	for ; i+8 <= hi; i += 8 {
-		if (i-lo)%64 == 0 {
-			engine.LoadLine(t, &col.Buffer, int64(i), 0)
-			t.Work(vectorWork)
+	// Scalar tail: the final partial line (last chunk only).
+	tail := lo + nLines*64
+	if tail < hi {
+		engine.LoadLine(t, &col.Buffer, int64(tail), 0)
+		t.Work(vectorWork)
+		var acc uint64
+		for i := tail; i < hi; i++ {
+			if col.D[i] >= pred.Lo && col.D[i] <= pred.Hi {
+				acc |= 1 << uint(i-tail)
+				matches++
+			}
+			t.Work(1)
 		}
-		var word uint64
-		for j := 0; j < 8; j++ {
-			word |= uint64(col.D[i+j]) << (8 * j)
-		}
-		bits := packMask(rangeMask(word, loB, hiB))
-		acc |= uint64(bits) << ((i - accBase) % 64)
-		matches += uint64(popcount8(bits))
-		if (i+8-accBase)%64 == 0 {
-			flush(i + 8)
-		}
-	}
-	// Scalar tail.
-	for ; i < hi; i++ {
-		if col.D[i] >= pred.Lo && col.D[i] <= pred.Hi {
-			acc |= 1 << ((i - accBase) % 64)
-			matches++
-		}
-		t.Work(1)
-	}
-	if acc != 0 || (hi-accBase) > 0 {
-		flush(hi)
+		engine.StoreU64(t, out, tail/64, acc, 0, 0)
 	}
 	return matches
 }
@@ -105,32 +133,42 @@ func bitVectorChunk(t *engine.Thread, col *mem.U8Buf, lo, hi int, out *mem.U64Bu
 // rowIDChunk scans col[lo:hi) and materializes the 64-bit row indexes of
 // matching values into out[outBase...], returning the match count. Each
 // match writes 8 bytes, so the write rate is 8x the selectivity — the
-// knob Fig 15 turns.
+// knob Fig 15 turns. Row-id stores are sequential through the output
+// cursor, so each block's writes are charged as one StoreRun.
 func rowIDChunk(t *engine.Thread, col *mem.U8Buf, lo, hi int, out *mem.U64Buf, outBase int, pred Predicate) uint64 {
 	loB, hiB := broadcast(pred.Lo), broadcast(pred.Hi)
 	pos := outBase
-	i := lo
-	for ; i+8 <= hi; i += 8 {
-		if (i-lo)%64 == 0 {
-			engine.LoadLine(t, &col.Buffer, int64(i), 0)
-			t.Work(vectorWork)
+	nLines := (hi - lo) / 64
+	for li := 0; li < nLines; {
+		blk := nLines - li
+		if blk > blockLines {
+			blk = blockLines
 		}
-		var word uint64
-		for j := 0; j < 8; j++ {
-			word |= uint64(col.D[i+j]) << (8 * j)
-		}
-		bits := packMask(rangeMask(word, loB, hiB))
-		if bits != 0 {
-			t.Work(1) // vcompressq of the matching lanes
-			for j := 0; j < 8; j++ {
-				if bits&(1<<j) != 0 {
-					engine.StoreU64(t, out, pos, uint64(i+j), 0, 0)
-					pos++
+		base := lo + li*64
+		t.LoadLines(&col.Buffer, int64(base), blk, 0)
+		t.Work(vectorWork * uint64(blk))
+		runStart := pos
+		for l := 0; l < blk; l++ {
+			lineOff := base + l*64
+			acc := lineMask(col.D, lineOff, loB, hiB)
+			for w := 0; w < 8; w++ {
+				b8 := uint8(acc >> (8 * w))
+				if b8 != 0 {
+					t.Work(1) // vcompressq of the matching lanes
+					wordOff := lineOff + 8*w
+					for b8 != 0 {
+						out.D[pos] = uint64(wordOff + bits.TrailingZeros8(b8))
+						pos++
+						b8 &= b8 - 1
+					}
 				}
 			}
 		}
+		t.StoreRun(&out.Buffer, out.Off(runStart), 8, pos-runStart, 0, 0)
+		li += blk
 	}
-	for ; i < hi; i++ {
+	// Scalar tail.
+	for i := lo + nLines*64; i < hi; i++ {
 		if col.D[i] >= pred.Lo && col.D[i] <= pred.Hi {
 			engine.StoreU64(t, out, pos, uint64(i), 0, 0)
 			pos++
@@ -138,14 +176,6 @@ func rowIDChunk(t *engine.Thread, col *mem.U8Buf, lo, hi int, out *mem.U64Buf, o
 		t.Work(1)
 	}
 	return uint64(pos - outBase)
-}
-
-func popcount8(b uint8) int {
-	n := 0
-	for ; b != 0; b &= b - 1 {
-		n++
-	}
-	return n
 }
 
 // Options configures a scan run.
@@ -187,8 +217,10 @@ func Run(env *core.Env, col *mem.U8Buf, opt Options) *Result {
 		// Result memory is pre-allocated, as in the paper ("we assume
 		// that the memory for the scan result is pre-allocated").
 		ids = env.Space.AllocU64("scan.ids", n+64, env.DataRegion())
+		res.IDs = ids
 	} else {
 		bits = env.Space.AllocU64("scan.bits", n/64+2, env.DataRegion())
+		res.Bits = bits
 	}
 
 	counts := make([]uint64, T)
