@@ -6,6 +6,13 @@
 // results. Results are written to a BENCH_engine.json trajectory file so
 // future performance PRs are comparable.
 //
+// Methodology: every workload is prepared once (environment, input data,
+// pre-allocated result buffers — the paper pre-allocates result memory)
+// and then run N times; the reported host_ns is the median repetition,
+// the right estimator on a noisy single-CPU container. Simulated caches
+// start cold on every repetition (each run builds fresh threads), so the
+// simulated results of a repetition are independent of the others.
+//
 // Usage:
 //
 //	go run ./cmd/bench           # full suite (a few minutes, single core)
@@ -18,6 +25,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"time"
 
 	"sgxbench/internal/core"
@@ -39,8 +48,9 @@ var (
 type wlResult struct {
 	Workload  string `json:"workload"`
 	Setting   string `json:"setting"`
-	Mode      string `json:"mode"` // "fast" or "per-op"
-	HostNS    int64  `json:"host_ns"`
+	Mode      string `json:"mode"`    // "fast" or "per-op"
+	HostNS    int64  `json:"host_ns"` // median over repetitions
+	Reps      int    `json:"reps"`
 	SimCycles uint64 `json:"sim_cycles"`
 	Check     uint64 `json:"check"` // matches / cycle checksum for equivalence
 }
@@ -63,43 +73,124 @@ func settings() []core.Setting {
 	return []core.Setting{core.PlainCPU, core.PlainCPUM, core.SGXDoE, core.SGXDiE}
 }
 
-// --- workload runners; each returns (host time, simulated cycles, check) ---
-
-func runSeq(ref bool, setting core.Setting, bytes int64) (time.Duration, uint64, uint64) {
-	env := core.NewEnv(core.Options{Plat: platform.XeonGold6326().Scaled(32), Setting: setting, Reference: ref})
-	buf := env.Space.Raw("seq", bytes, env.DataRegion())
-	t := engine.NewThread(env.EngineConfig(), 0)
-	start := time.Now()
-	cyc := kernels.StreamRead(t, buf, 0, bytes)
-	return time.Since(start), cyc, cyc
+func median(ds []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
 }
 
-func runScan(ref bool, setting core.Setting, bytes int, rowIDs bool, thr int) (time.Duration, uint64, uint64) {
+// runner executes one timed repetition of a prepared workload and
+// returns (host time, simulated cycles, check value).
+type runner func() (time.Duration, uint64, uint64)
+
+// --- workload preparation; each returns a runner over reusable state ---
+
+func prepSeq(ref bool, setting core.Setting, bytes int64) runner {
+	env := core.NewEnv(core.Options{Plat: platform.XeonGold6326().Scaled(32), Setting: setting, Reference: ref})
+	buf := env.Space.Raw("seq", bytes, env.DataRegion())
+	return func() (time.Duration, uint64, uint64) {
+		t := engine.NewThread(env.EngineConfig(), 0)
+		start := time.Now()
+		cyc := kernels.StreamRead(t, buf, 0, bytes)
+		return time.Since(start), cyc, cyc
+	}
+}
+
+func prepScan(ref bool, setting core.Setting, bytes int, rowIDs bool, thr int) runner {
 	env := core.NewEnv(core.Options{Plat: platform.XeonGold6326().Scaled(32), Setting: setting, Reference: ref})
 	col := env.Space.AllocU8("col", bytes, env.DataRegion())
 	scan.GenColumn(col, 9)
-	start := time.Now()
-	res := scan.Run(env, col, scan.Options{Threads: thr, Pred: scan.Predicate{Lo: 16, Hi: 127}, RowIDs: rowIDs})
-	return time.Since(start), res.WallCycles, res.Matches
+	opt := scan.Options{Threads: thr, Pred: scan.Predicate{Lo: 16, Hi: 127}, RowIDs: rowIDs}
+	if rowIDs {
+		opt.IDs = env.Space.AllocU64("scan.ids", col.Len()+64, env.DataRegion())
+	} else {
+		opt.Bits = env.Space.AllocU64("scan.bits", col.Len()/64+2, env.DataRegion())
+	}
+	return func() (time.Duration, uint64, uint64) {
+		start := time.Now()
+		res := scan.Run(env, col, opt)
+		return time.Since(start), res.WallCycles, res.Matches
+	}
 }
 
-func runJoin(ref bool, setting core.Setting, alg join.Algorithm, scale int64, thr int) (time.Duration, uint64, uint64) {
+// prepGather prepares the filter→gather plan: the row-id scan runs once
+// (untimed), its ids are shuffled into an unclustered list, and each
+// repetition re-gathers the payload column at those ids. maxIDs caps the
+// gather volume so the suite stays within minutes (random accesses are
+// the most expensive pattern to simulate).
+func prepGather(ref bool, setting core.Setting, bytes, thr, maxIDs int) runner {
+	env := core.NewEnv(core.Options{Plat: platform.XeonGold6326().Scaled(32), Setting: setting, Reference: ref})
+	col := env.Space.AllocU8("col", bytes, env.DataRegion())
+	scan.GenColumn(col, 9)
+	sc := scan.Run(env, col, scan.Options{Threads: thr, Pred: scan.Predicate{Lo: 16, Hi: 127}, RowIDs: true})
+	n := int(sc.Matches)
+	scan.ShuffleIDs(sc.IDs, n, 21)
+	if n > maxIDs {
+		n = maxIDs
+	}
+	gopt := scan.GatherOptions{Threads: thr, Out: env.Space.AllocU8("scan.gathered", n, env.DataRegion())}
+	return func() (time.Duration, uint64, uint64) {
+		start := time.Now()
+		res := scan.Gather(env, col, sc.IDs, n, gopt)
+		return time.Since(start), res.WallCycles, res.Sum
+	}
+}
+
+// prepMicroGather prepares the Fig 5 random-access micro-benchmark in its
+// batched form (kernels.GatherAccess) over a DRAM-sized array.
+func prepMicroGather(ref bool, setting core.Setting, arr int64, ops int) runner {
+	env := core.NewEnv(core.Options{Plat: platform.XeonGold6326().Scaled(32), Setting: setting, Reference: ref})
+	buf := env.Space.Raw("gather.arr", arr, env.DataRegion())
+	return func() (time.Duration, uint64, uint64) {
+		t := engine.NewThread(env.EngineConfig(), 0)
+		start := time.Now()
+		cyc := kernels.GatherAccess(t, buf, ops, false, 5)
+		return time.Since(start), cyc, cyc
+	}
+}
+
+// prepJoin builds the join inputs once; every repetition re-runs the
+// algorithm (fresh per-run state is allocated from the same simulated
+// space, so repetition k sees the same addresses in both engine modes).
+func prepJoin(ref bool, setting core.Setting, alg join.Algorithm, scale int64, thr int) runner {
 	env := core.NewEnv(core.Options{Plat: platform.XeonGold6326().Scaled(scale), Setting: setting, Reference: ref})
 	nR := rel.RowsForMB(100) / int(scale)
 	nS := rel.RowsForMB(400) / int(scale)
 	build, probe := rel.GenFKPair(env.Space, nR, nS, env.DataRegion(), 1234)
-	start := time.Now()
-	res, err := alg.Run(env, build, probe, join.Options{Threads: thr, Optimized: true})
-	if err != nil {
-		panic(err)
+	return func() (time.Duration, uint64, uint64) {
+		start := time.Now()
+		res, err := alg.Run(env, build, probe, join.Options{Threads: thr, Optimized: true})
+		if err != nil {
+			panic(err)
+		}
+		return time.Since(start), res.WallCycles, res.Matches
 	}
-	return time.Since(start), res.WallCycles, res.Matches
+}
+
+// measure runs r reps times and returns the median host time plus the
+// first repetition's simulated cycles and check value. The preceding
+// workload's buffers (hundreds of MB) are collected up front so a GC
+// cycle over the accumulated heap never lands inside a timed region.
+func measure(r runner, reps int) (time.Duration, uint64, uint64, []uint64, []uint64) {
+	runtime.GC()
+	hosts := make([]time.Duration, reps)
+	cycs := make([]uint64, reps)
+	chks := make([]uint64, reps)
+	for k := 0; k < reps; k++ {
+		hosts[k], cycs[k], chks[k] = r()
+	}
+	return median(hosts), cycs[0], chks[0], cycs, chks
 }
 
 func main() {
 	flag.Parse()
+	// The suite holds a few large long-lived buffers and produces modest
+	// per-repetition garbage; a higher GC target keeps collector cycles
+	// out of the timed regions (benchmark hygiene, not a result lever —
+	// both engine modes run under the same setting).
+	debug.SetGCPercent(400)
 	rep := &report{
-		Schema:    "sgxbench/bench_engine/v1",
+		Schema:    "sgxbench/bench_engine/v2",
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
@@ -107,43 +198,56 @@ func main() {
 		Speedups:  map[string]float64{},
 	}
 
-	// Repetitions per (workload, mode) in the speedup section; the best
-	// (minimum) host time is kept, the standard estimator under noise
-	// that only ever adds time.
 	seqBytes := int64(256 << 20)
 	scanBytes := 64 << 20
+	gatherIDs := 4 << 20
+	gatherOps := 1 << 21
+	gatherArr := int64(256 << 20)
 	rhoScale := int64(4) // 25 MB join 100 MB: near-full-size working set
-	reps := 4
-	joinReps := 3
+	reps := 5
+	joinReps := 5
 	if *quick {
 		seqBytes = 16 << 20
 		scanBytes = 4 << 20
+		gatherIDs = 1 << 17
+		gatherOps = 1 << 16
+		gatherArr = 16 << 20
 		rhoScale = 64
 		reps = 1
 		joinReps = 1
 	}
 
 	// --- Sweep: the fixed suite across all four settings, fast path ---
-	fmt.Println("== sweep (batched fast path) ==")
+	rep.Equivalent = true
+	fmt.Printf("== sweep (batched fast path, median of %d) ==\n", reps)
 	for _, s := range settings() {
 		type wl struct {
 			name string
-			run  func() (time.Duration, uint64, uint64)
+			prep func() runner
+			n    int
 		}
 		wls := []wl{
-			{"scan.bv", func() (time.Duration, uint64, uint64) { return runScan(false, s, scanBytes, false, *threads) }},
-			{"scan.rowid", func() (time.Duration, uint64, uint64) { return runScan(false, s, scanBytes, true, *threads) }},
-			{"join.RHO", func() (time.Duration, uint64, uint64) {
-				return runJoin(false, s, join.NewRHO(), rhoScale*8, *threads)
-			}},
-			{"join.PHT", func() (time.Duration, uint64, uint64) {
-				return runJoin(false, s, join.NewPHT(), rhoScale*8, *threads)
-			}},
+			{"scan.bv", func() runner { return prepScan(false, s, scanBytes, false, *threads) }, reps},
+			{"scan.rowid", func() runner { return prepScan(false, s, scanBytes, true, *threads) }, reps},
+			{"scan.gather", func() runner { return prepGather(false, s, scanBytes, *threads, gatherIDs) }, reps},
+			{"micro.gather", func() runner { return prepMicroGather(false, s, gatherArr, gatherOps) }, reps},
+			{"join.RHO", func() runner { return prepJoin(false, s, join.NewRHO(), rhoScale*8, *threads) }, joinReps},
+			{"join.PHT", func() runner { return prepJoin(false, s, join.NewPHT(), rhoScale*8, *threads) }, joinReps},
 		}
 		for _, w := range wls {
-			host, cyc, chk := w.run()
-			rep.Sweep = append(rep.Sweep, wlResult{w.name, s.String(), "fast", host.Nanoseconds(), cyc, chk})
-			fmt.Printf("  %-11s %-11s host=%-12v simMcyc=%d\n", w.name, s, host.Round(time.Millisecond), cyc/1e6)
+			host, cyc, chk, _, chks := measure(w.prep(), w.n)
+			// Check values (matches / checksums) must be deterministic
+			// across repetitions; sim_cycles of multi-threaded joins are
+			// not (goroutine interleaving on shared tables) and are
+			// reported from the first repetition.
+			for k, c := range chks {
+				if c != chk {
+					fmt.Printf("  CHECK DIVERGENCE: %s/%s rep %d check=%d vs %d\n", w.name, s, k, c, chk)
+					rep.Equivalent = false
+				}
+			}
+			rep.Sweep = append(rep.Sweep, wlResult{w.name, s.String(), "fast", host.Nanoseconds(), w.n, cyc, chk})
+			fmt.Printf("  %-12s %-11s host=%-12v simMcyc=%d\n", w.name, s, host.Round(time.Millisecond), cyc/1e6)
 		}
 	}
 
@@ -152,42 +256,39 @@ func main() {
 	die := core.SGXDiE
 	type sp struct {
 		name string
-		run  func(ref bool) (time.Duration, uint64, uint64)
+		prep func(ref bool) runner
+		n    int
 	}
 	sps := []sp{
-		{"seq.stream", func(ref bool) (time.Duration, uint64, uint64) { return runSeq(ref, die, seqBytes) }},
-		{"scan.bv", func(ref bool) (time.Duration, uint64, uint64) { return runScan(ref, die, scanBytes, false, 1) }},
-		{"scan.rowid", func(ref bool) (time.Duration, uint64, uint64) { return runScan(ref, die, scanBytes, true, 1) }},
-		{"join.RHO", func(ref bool) (time.Duration, uint64, uint64) { return runJoin(ref, die, join.NewRHO(), rhoScale, 1) }},
-		{"join.PHT", func(ref bool) (time.Duration, uint64, uint64) { return runJoin(ref, die, join.NewPHT(), rhoScale*4, 1) }},
+		{"seq.stream", func(ref bool) runner { return prepSeq(ref, die, seqBytes) }, reps},
+		{"scan.bv", func(ref bool) runner { return prepScan(ref, die, scanBytes, false, 1) }, reps},
+		{"scan.rowid", func(ref bool) runner { return prepScan(ref, die, scanBytes, true, 1) }, reps},
+		{"scan.gather", func(ref bool) runner { return prepGather(ref, die, scanBytes, 1, gatherIDs) }, reps},
+		{"micro.gather", func(ref bool) runner { return prepMicroGather(ref, die, gatherArr, gatherOps) }, reps},
+		{"join.RHO", func(ref bool) runner { return prepJoin(ref, die, join.NewRHO(), rhoScale, 1) }, joinReps},
+		{"join.PHT", func(ref bool) runner { return prepJoin(ref, die, join.NewPHT(), rhoScale*4, 1) }, joinReps},
 	}
-	rep.Equivalent = true
 	for _, w := range sps {
-		n := reps
-		if w.name == "join.RHO" || w.name == "join.PHT" {
-			n = joinReps
-		}
-		var rBest, fBest time.Duration = 1 << 62, 1 << 62
-		var rCyc, fCyc, rChk, fChk uint64
-		for k := 0; k < n; k++ {
-			if h, c, m := w.run(true); h < rBest {
-				rBest, rCyc, rChk = h, c, m
-			}
-			if h, c, m := w.run(false); h < fBest {
-				fBest, fCyc, fChk = h, c, m
+		rHost, rCyc, rChk, rCycs, rChks := measure(w.prep(true), w.n)
+		fHost, fCyc, fChk, fCycs, fChks := measure(w.prep(false), w.n)
+		eq := true
+		for k := 0; k < w.n; k++ {
+			// Repetition k sees identical simulated state in both modes,
+			// so cycles and checks must match pairwise, bit for bit.
+			if rCycs[k] != fCycs[k] || rChks[k] != fChks[k] {
+				eq = false
 			}
 		}
-		eq := rCyc == fCyc && rChk == fChk
 		if !eq {
 			rep.Equivalent = false
 		}
-		ratio := float64(rBest) / float64(fBest)
+		ratio := float64(rHost) / float64(fHost)
 		rep.Speedup = append(rep.Speedup,
-			wlResult{w.name, die.String(), "per-op", rBest.Nanoseconds(), rCyc, rChk},
-			wlResult{w.name, die.String(), "fast", fBest.Nanoseconds(), fCyc, fChk})
+			wlResult{w.name, die.String(), "per-op", rHost.Nanoseconds(), w.n, rCyc, rChk},
+			wlResult{w.name, die.String(), "fast", fHost.Nanoseconds(), w.n, fCyc, fChk})
 		rep.Speedups[w.name] = ratio
-		fmt.Printf("  %-11s per-op=%-12v fast=%-12v speedup=%.2fx equivalent=%v\n",
-			w.name, rBest.Round(time.Millisecond), fBest.Round(time.Millisecond), ratio, eq)
+		fmt.Printf("  %-12s per-op=%-12v fast=%-12v speedup=%.2fx equivalent=%v\n",
+			w.name, rHost.Round(time.Millisecond), fHost.Round(time.Millisecond), ratio, eq)
 	}
 
 	// --- Acceptance targets (informative outside -quick) ---
@@ -207,7 +308,14 @@ func main() {
 		fmt.Println("  (quick mode: sizes too small for representative ratios; targets not checked)")
 	} else {
 		check("seq.stream", 5.0)
+		// The reference path shares the restructured kernels (NT result
+		// stores, vectorized emission), so the rowid fast-vs-reference
+		// gap is structurally narrower than the random-access ones.
+		check("scan.rowid", 2.0)
+		check("scan.gather", 2.0)
+		check("micro.gather", 2.0)
 		check("join.RHO", 2.0)
+		check("join.PHT", 2.0)
 	}
 	if !rep.Equivalent {
 		fmt.Println("  EQUIVALENCE FAILURE: fast path changed simulated results")

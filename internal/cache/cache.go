@@ -73,10 +73,10 @@ func lineShift(lineBytes int64) uint {
 type Cache struct {
 	mask     uint64 // sets-1 (sets is a power of two)
 	ways     int
-	stride   uint64 // words per set block in data: 8 filter words + ways
+	stride   uint64 // words per set block in data: 16 filter words + ways
 	lineBits uint
 	setShift uint // log2(sets): line >> setShift is the tag
-	// data interleaves each set's membership filter (8 words = 64
+	// data interleaves each set's membership filter (16 words = 128
 	// one-byte counters keyed by the low tag bits, see filtKey) with its
 	// packed entries (circular recency order), so one probe touches one
 	// contiguous block. The filter counts how many resident ways share a
@@ -92,7 +92,7 @@ type Cache struct {
 // New builds a cache with the given geometry.
 func New(g platform.CacheGeom) *Cache {
 	sets := pow2Sets(g.Sets())
-	stride := uint64(8 + g.Ways)
+	stride := uint64(filtWords + g.Ways)
 	return &Cache{
 		mask:     sets - 1,
 		ways:     g.Ways,
@@ -104,13 +104,22 @@ func New(g platform.CacheGeom) *Cache {
 	}
 }
 
+// filtWords is the per-set width of the counting membership filter: 16
+// words = 128 one-byte counters. Wider filters mean fewer tag-key
+// collisions and therefore fewer false-positive set scans — a pure host
+// cost; the counters are exact, so hit/miss decisions are unchanged.
+const filtWords = 16
+
+// filtMask selects the filter key from a line's tag bits.
+const filtMask = 8*filtWords - 1
+
 // filtKey returns (word index, bit shift) of line's filter counter within
 // set s. The key is taken from the tag bits (line with the set index
 // shifted out): resident lines of one set always differ in their tags, and
 // for streaming workloads recent residents have consecutive tags, so keys
 // rarely collide and most misses are proven without a scan.
 func (c *Cache) filtKey(s, line uint64) (uint64, uint) {
-	k := (line >> c.setShift) & 63
+	k := (line >> c.setShift) & filtMask
 	return s*c.stride + k>>3, uint(k&7) << 3
 }
 
@@ -130,7 +139,7 @@ func (c *Cache) AccessOrFill(line uint64, write bool) (hit bool, evicted uint64,
 	s := line & c.mask
 	fbase := s * c.stride
 	blk := c.data[fbase : fbase+c.stride]
-	set := blk[8:]
+	set := blk[filtWords:]
 	h := int(c.head[s])
 	want := (line+1)<<1 | 1
 	if mru := set[h]; mru|1 == want {
@@ -140,7 +149,7 @@ func (c *Cache) AccessOrFill(line uint64, write bool) (hit bool, evicted uint64,
 		}
 		return true, 0, false, false
 	}
-	k := (line >> c.setShift) & 63
+	k := (line >> c.setShift) & filtMask
 	fw, fs := k>>3, uint(k&7)<<3
 	if blk[fw]>>fs&0xff != 0 {
 		// The filter says the line may be resident: fused walk — scan,
@@ -160,7 +169,7 @@ func (c *Cache) AccessOrFill(line uint64, write bool) (hit bool, evicted uint64,
 		evicted = old>>1 - 1
 		evictedDirty = old&1 != 0
 		evictedOK = true
-		ek := (evicted >> c.setShift) & 63
+		ek := (evicted >> c.setShift) & filtMask
 		blk[ek>>3] -= 1 << (uint(ek&7) << 3)
 	}
 	e := (line + 1) << 1
@@ -182,8 +191,8 @@ func (c *Cache) AccessOrFillStream(line uint64, write bool) (hit bool, evicted u
 	s := line & c.mask
 	fbase := s * c.stride
 	blk := c.data[fbase : fbase+c.stride]
-	set := blk[8:]
-	k := (line >> c.setShift) & 63
+	set := blk[filtWords:]
+	k := (line >> c.setShift) & filtMask
 	fw, fs := k>>3, uint(k&7)<<3
 	h := int(c.head[s])
 	if blk[fw]>>fs&0xff != 0 {
@@ -209,7 +218,7 @@ func (c *Cache) AccessOrFillStream(line uint64, write bool) (hit bool, evicted u
 		evicted = old>>1 - 1
 		evictedDirty = old&1 != 0
 		evictedOK = true
-		ek := (evicted >> c.setShift) & 63
+		ek := (evicted >> c.setShift) & filtMask
 		blk[ek>>3] -= 1 << (uint(ek&7) << 3)
 	}
 	e := (line + 1) << 1
@@ -231,7 +240,7 @@ func (c *Cache) AccessOrFillStream(line uint64, write bool) (hit bool, evicted u
 // The caller maintains the inserted line's filter counter; the evicted
 // line's counter is decremented here.
 func (c *Cache) scanOrFill(blk []uint64, h int, line uint64, write bool) (hit bool, evicted uint64, evictedDirty, evictedOK bool) {
-	set := blk[8:]
+	set := blk[filtWords:]
 	want := (line+1)<<1 | 1
 	prev := set[h]
 	for i := h + 1; i < len(set); i++ {
@@ -263,7 +272,7 @@ func (c *Cache) scanOrFill(blk []uint64, h int, line uint64, write bool) (hit bo
 		evicted = prev>>1 - 1
 		evictedDirty = prev&1 != 0
 		evictedOK = true
-		ek := (evicted >> c.setShift) & 63
+		ek := (evicted >> c.setShift) & filtMask
 		blk[ek>>3] -= 1 << (uint(ek&7) << 3)
 	}
 	e := (line + 1) << 1
@@ -278,7 +287,7 @@ func (c *Cache) scanOrFill(blk []uint64, h int, line uint64, write bool) (hit bo
 // moves to the front (dirtied on writes). Recency order is two linear
 // segments of the circular set: [h, ways) then [0, h).
 func (c *Cache) scanHit(s, line uint64, write bool) bool {
-	base := s*c.stride + 8
+	base := s*c.stride + filtWords
 	set := c.data[base : base+uint64(c.ways)]
 	h := int(c.head[s])
 	want := (line+1)<<1 | 1
@@ -313,7 +322,7 @@ func (c *Cache) scanHit(s, line uint64, write bool) bool {
 // the LRU way in O(1): the head rotates back one slot onto the old LRU
 // entry. fw/fs locate line's filter counter.
 func (c *Cache) fillMiss(s, line uint64, write bool, fw uint64, fs uint) (evicted uint64, evictedDirty, ok bool) {
-	base := s*c.stride + 8
+	base := s*c.stride + filtWords
 	set := c.data[base : base+uint64(c.ways)]
 	lru := int(c.head[s]) - 1
 	if lru < 0 {
@@ -334,6 +343,16 @@ func (c *Cache) fillMiss(s, line uint64, write bool, fw uint64, fs uint) (evicte
 	c.head[s] = uint16(lru)
 	c.data[fw] += 1 << fs
 	return evicted, evictedDirty, ok
+}
+
+// DirtyMRU marks line dirty in place. The caller guarantees that line is
+// the MRU entry of its set — e.g. it was the thread's immediately
+// preceding access — so the update is a single word OR with no scan and
+// no recency change, exactly the state transition AccessOrFill performs
+// on an MRU write hit.
+func (c *Cache) DirtyMRU(line uint64) {
+	s := line & c.mask
+	c.data[s*c.stride+filtWords+uint64(c.head[s])] |= 1
 }
 
 // Access probes the cache for line. On a hit it refreshes LRU state
@@ -375,7 +394,7 @@ type TLB struct {
 	setShift uint
 	ents     []uint64 // 0 invalid, otherwise page+1; circular per set
 	head     []uint16 // per-set physical index of the MRU way
-	filt     []uint64 // 64 one-byte counters per set, keyed by tag bits
+	filt     []uint64 // 128 one-byte counters per set, keyed by tag bits
 }
 
 // NewTLB builds a TLB with the given geometry.
@@ -387,7 +406,7 @@ func NewTLB(g platform.TLBGeom) *TLB {
 		setShift: uint(bits.Len64(sets - 1)),
 		ents:     make([]uint64, sets*uint64(g.Ways)),
 		head:     make([]uint16, sets),
-		filt:     make([]uint64, sets*8),
+		filt:     make([]uint64, sets*filtWords),
 	}
 }
 
@@ -412,8 +431,8 @@ func (t *TLB) Access(page uint64) bool {
 	if set[h] == tag {
 		return true
 	}
-	k := (page >> t.setShift) & 63
-	fw, fs := s<<3+k>>3, uint(k&7)<<3
+	k := (page >> t.setShift) & filtMask
+	fw, fs := s*filtWords+k>>3, uint(k&7)<<3
 	if t.filt[fw]>>fs&0xff != 0 {
 		if t.scanHit(set, h, tag) {
 			return true
@@ -424,8 +443,8 @@ func (t *TLB) Access(page uint64) bool {
 		lru = len(set) - 1
 	}
 	if old := set[lru]; old != 0 {
-		ek := ((old - 1) >> t.setShift) & 63
-		t.filt[s<<3+ek>>3] -= 1 << (uint(ek&7) << 3)
+		ek := ((old - 1) >> t.setShift) & filtMask
+		t.filt[s*filtWords+ek>>3] -= 1 << (uint(ek&7) << 3)
 	}
 	set[lru] = tag
 	t.head[s] = uint16(lru)

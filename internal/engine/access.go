@@ -165,11 +165,21 @@ func (t *Thread) pacedAdvance(epc, remote bool) uint64 {
 // walkPage charges a hardware page walk (on STLB miss): the base walk
 // latency, the PTE fetches through the cache hierarchy, and — for EPC
 // pages — the EPCM security checks. Shared by both access paths; the
-// metadata fetches go through the mode-appropriate hierarchy walk.
+// metadata fetches go through the mode-appropriate hierarchy walk. When
+// the walked page's 2 MiB region hits the paging-structure cache, the
+// non-leaf levels are served by the walker internally and only the leaf
+// PTE is fetched through the hierarchy.
 func (t *Thread) walkPage(page uint64, homeNode int, epc, remote bool) uint64 {
 	t.st.TLBWalks++
 	tlbLat := t.Plat.LatPageWalk
-	for i := 0; i < t.Plat.PTEAccesses; i++ {
+	levels := t.Plat.PTEAccesses
+	pde := page >> 9
+	if slot := pde & (pwcEntries - 1); t.pwc[slot] == pde+1 {
+		levels = 1
+	} else {
+		t.pwc[slot] = pde + 1
+	}
+	for i := 0; i < levels; i++ {
 		// Walk levels have decreasing footprint and increasing
 		// locality: level i covers page>>(9*i). Each level gets
 		// its own sub-window so entries do not alias.
@@ -396,7 +406,9 @@ func (t *Thread) ResetMemoryState() {
 	}
 	t.streams = [2 * nStreams]stream{}
 	t.mruWay = [nStreams]uint8{}
+	t.pwc = [pwcEntries]uint64{}
 	t.lastPage = noPage
+	t.mruLine = noPage
 	for i := range t.mlp {
 		t.mlp[i] = 0
 	}

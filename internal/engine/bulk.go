@@ -51,6 +51,22 @@ func (t *Thread) LoadRunToks(b *mem.Buffer, off, elem int64, n int, dep Tok, tok
 	t.fastLoadRun(b, off, elem, n, dep, toks)
 }
 
+// clampLines range-checks a line-granular run and clamps it to lines
+// that actually start inside the buffer, so an over-long nLines cannot
+// simulate nonexistent lines (a per-line reference decomposition would
+// panic on them). Shared by LoadLines and StoreLinesNT.
+func (t *Thread) clampLines(b *mem.Buffer, off int64, nLines int) int {
+	span := b.Size - off
+	if span > int64(nLines)*64 {
+		span = int64(nLines) * 64
+	}
+	t.checkRange(b, off, span)
+	if maxLines := int((span + 63) / 64); nLines > maxLines {
+		nLines = maxLines
+	}
+	return nLines
+}
+
 // LoadLines charges nLines full cache-line (64-byte vector) loads
 // starting at byte offset off; the final line is clamped to the buffer
 // end, mirroring LoadLine. This is the scan hot-path primitive: one call
@@ -59,17 +75,7 @@ func (t *Thread) LoadLines(b *mem.Buffer, off int64, nLines int, dep Tok) Tok {
 	if nLines <= 0 {
 		return dep
 	}
-	span := b.Size - off
-	if span > int64(nLines)*64 {
-		span = int64(nLines) * 64
-	}
-	t.checkRange(b, off, span)
-	// Clamp the charged run to lines that actually start inside the
-	// buffer, so an over-long nLines cannot simulate nonexistent lines
-	// (the reference decomposition would panic on them).
-	if maxLines := int((span + 63) / 64); nLines > maxLines {
-		nLines = maxLines
-	}
+	nLines = t.clampLines(b, off, nLines)
 	if t.ref {
 		var done Tok
 		for i := 0; i < nLines; i++ {
@@ -85,7 +91,10 @@ func (t *Thread) LoadLines(b *mem.Buffer, off int64, nLines int, dep Tok) Tok {
 // tight loop whose per-element state transitions are exactly those of
 // loadStep, with the run-invariant work hoisted — buffer placement, the
 // pacing latency, and the prefetcher stream slot, which a sequential run
-// keeps extending without re-resolving.
+// keeps extending without re-resolving. Elements that re-touch the
+// previous element's line (sub-line strides: 8 loads of an 8-byte run
+// share one line) coalesce into the MRU line memo's repeat path, so only
+// line transitions pay a probe.
 func (t *Thread) fastLoadRun(b *mem.Buffer, off, elem int64, n int, dep Tok, toks []Tok) Tok {
 	addr := b.Base + uint64(off)
 	step := uint64(elem)
@@ -103,6 +112,16 @@ func (t *Thread) fastLoadRun(b *mem.Buffer, off, elem int64, n int, dep Tok, tok
 		}
 		issue = t.loadGate(issue)
 		line := addr >> 6
+		if line == t.mruLine {
+			// Same-line repeat: guaranteed L1-MRU hit, no state change.
+			t.st.L1Hits++
+			done = issue + Tok(t.latL1)
+			if toks != nil {
+				toks[i] = done
+			}
+			addr += step
+			continue
+		}
 		// Stream training: within the run only this loop touches the
 		// table, so the current page's slot stays valid until the run
 		// crosses into the next page.
@@ -131,6 +150,7 @@ func (t *Thread) fastLoadRun(b *mem.Buffer, off, elem int64, n int, dep Tok, tok
 				tlbLat = t.fastTranslate(page, b)
 			}
 		}
+		t.mruLine = line
 		// Fused hierarchy walk.
 		if hit, _, _, _ := t.l1.AccessOrFillStream(line, false); hit {
 			t.st.L1Hits++
@@ -162,6 +182,82 @@ func (t *Thread) fastLoadRun(b *mem.Buffer, off, elem int64, n int, dep Tok, tok
 		addr += step
 	}
 	return done
+}
+
+// StoreLinesNT charges nLines sequential non-temporal full-line stores
+// starting at byte offset off — write-combining streaming stores
+// (movntdq): each line bypasses the cache hierarchy entirely (no
+// allocation, no read-for-ownership) and drains to DRAM at stream
+// bandwidth. This is how vectorized kernels materialize large results
+// (compressed scan output, radix-partition flushes) without polluting
+// the caches; the address is still translated, so TLB state and page
+// walks are charged exactly as for cached stores, with the walk latency
+// hidden behind the stream like any paced access. The final line is
+// clamped to the buffer end. Returns the drain token of the last line.
+//
+// Model simplification (shared by both engine paths): an NT store does
+// not invalidate a stale cached copy of its line, so a kernel that reads
+// a region through the caches, overwrites it with StoreLinesNT and then
+// re-reads it would see cache hits where hardware evicts and re-fetches.
+// No kernel does this today — NT stores are used for write-once result
+// streams (scan output, partition flushes) whose lines were never cached
+// before the store.
+func (t *Thread) StoreLinesNT(b *mem.Buffer, off int64, nLines int, addrDep, dataDep Tok) Tok {
+	if nLines <= 0 {
+		return dataDep
+	}
+	nLines = t.clampLines(b, off, nLines)
+	addr := b.Base + uint64(off)
+	node := b.Reg.Node
+	remote := node != t.Node
+	epc := b.Reg.Kind == mem.EPC
+	paced := t.pacedAdvance(epc, remote)
+	lineBytes := uint64(t.Plat.L1D.LineBytes)
+	bNode := node
+	if bNode < 0 || bNode > 1 {
+		bNode = 0
+	}
+	t.st.Stores += uint64(nLines)
+	t.st.NTStores += uint64(nLines)
+	for i := 0; i < nLines; i++ {
+		issue := Tok(t.issueTick())
+		addrKnown := maxTok(issue, addrDep)
+		if uint64(addrKnown) > t.storeBarrier {
+			t.storeBarrier = uint64(addrKnown)
+		}
+		// Translation state advances as for any store; the latency hides
+		// behind the stream (the paced-access discipline).
+		page := addr >> t.pageShift
+		if t.ref {
+			if !t.rdtlb.Access(page) {
+				if !t.rstlb.Access(page) {
+					t.walkPage(page, node, epc, remote)
+				}
+			}
+		} else if page != t.lastPage {
+			if t.dtlb.MRUHit(page) {
+				t.lastPage = page
+			} else {
+				t.fastTranslate(page, b)
+				// The walk's PTE/EPCM fetches touched the hierarchy, so
+				// the MRU line memo can no longer vouch for its line (no
+				// data access follows to re-establish it).
+				t.mruLine = noPage
+			}
+		}
+		t.st.DRAMBytes[bNode] += lineBytes
+		if remote {
+			t.st.UPIBytes += lineBytes
+		}
+		ready := maxTok(addrKnown, dataDep)
+		if c := uint64(ready) + paced; c > t.cycle {
+			t.cycle = c
+		} else {
+			t.cycle += paced
+		}
+		addr += 64
+	}
+	return Tok(t.cycle)
 }
 
 // StoreRun charges n stores of elem bytes each at consecutive offsets.
@@ -197,6 +293,28 @@ func (t *Thread) StoreRun(b *mem.Buffer, off, elem int64, n int, addrDep, dataDe
 			t.storeBarrier = uint64(addrKnown)
 		}
 		line := addr >> 6
+		ready := maxTok(addrKnown, dataDep)
+		if line == t.mruLine {
+			// Same-line repeat: guaranteed L1-MRU hit; only the dirty bit
+			// can change, and only for the run's first element (a repeat
+			// at i > 0 follows this run's own store to the line, which
+			// already dirtied it — a repeat at i == 0 may follow a load).
+			if i == 0 {
+				t.l1.DirtyMRU(line)
+			}
+			t.st.L1Hits++
+			done := ready + Tok(t.latL1)
+			if t.sbuf[t.sbufPos] > t.cycle {
+				t.cycle = t.sbuf[t.sbufPos]
+			}
+			t.sbuf[t.sbufPos] = uint64(done)
+			if t.sbufPos++; t.sbufPos == len(t.sbuf) {
+				t.sbufPos = 0
+			}
+			fwd = maxTok(ready, dataDep) + 5
+			addr += step
+			continue
+		}
 		var inStream, trained bool
 		if sl != nil && sl.pageKey == (line>>t.lpShift)+1 {
 			switch line - sl.lastLine {
@@ -221,7 +339,7 @@ func (t *Thread) StoreRun(b *mem.Buffer, off, elem int64, n int, addrDep, dataDe
 				tlbLat = t.fastTranslate(page, b)
 			}
 		}
-		ready := maxTok(addrKnown, dataDep)
+		t.mruLine = line
 		var done Tok
 		if hit, _, _, _ := t.l1.AccessOrFillStream(line, true); hit {
 			t.st.L1Hits++
@@ -260,18 +378,30 @@ func (t *Thread) StoreRun(b *mem.Buffer, off, elem int64, n int, addrDep, dataDe
 	return fwd
 }
 
-// fastLoadOne is the fused per-op fast path of Load: the issue, gating,
-// stream-training, translation, hierarchy walk and completion accounting
-// of one load in a single function, with the identical state transition
-// to the reference path.
+// fastLoadOne is the per-op fast path of Load.
 func (t *Thread) fastLoadOne(b *mem.Buffer, off int64, dep Tok) Tok {
+	return t.fastLoadAt(b, b.Base+uint64(off), b.Reg.Node, b.Reg.Kind == mem.EPC, b.Reg.Node != t.Node, dep)
+}
+
+// fastLoadAt is the fused load fast path shared by Load, LoadGather,
+// LoadChain and CASLoad: the issue, gating, stream-training, translation,
+// hierarchy walk and completion accounting of one load in a single
+// function, with the identical state transition to the reference path.
+// The buffer placement (node, epc, remote) is resolved by the caller so
+// batched invocations hoist it out of their loops.
+func (t *Thread) fastLoadAt(b *mem.Buffer, addr uint64, node int, epc, remote bool, dep Tok) Tok {
 	issue := Tok(t.issueTick())
 	if dep > issue {
 		issue = dep
 	}
 	issue = t.loadGate(issue)
 	t.st.Loads++
-	addr := b.Base + uint64(off)
+	line := addr >> 6
+	if line == t.mruLine {
+		// Same-line repeat: guaranteed L1-MRU hit, no state change.
+		t.st.L1Hits++
+		return issue + Tok(t.latL1)
+	}
 	inStream := t.trainStream(addr)
 	var tlbLat uint64
 	page := addr >> t.pageShift
@@ -282,7 +412,7 @@ func (t *Thread) fastLoadOne(b *mem.Buffer, off int64, dep Tok) Tok {
 			tlbLat = t.fastTranslate(page, b)
 		}
 	}
-	line := addr >> 6
+	t.mruLine = line
 	if hit, _, _, _ := t.l1.AccessOrFill(line, false); hit {
 		t.st.L1Hits++
 		return issue + Tok(tlbLat+t.latL1)
@@ -296,9 +426,6 @@ func (t *Thread) fastLoadOne(b *mem.Buffer, off int64, dep Tok) Tok {
 		t.st.L3Hits++
 		return issue + Tok(tlbLat+t.latL3)
 	}
-	node := b.Reg.Node
-	remote := node != t.Node
-	epc := b.Reg.Kind == mem.EPC
 	dl := t.dramFill(false, node, epc, remote, ok && dirty)
 	t.st.DRAMAcc++
 	if inStream {
@@ -314,53 +441,64 @@ func (t *Thread) fastLoadOne(b *mem.Buffer, off int64, dep Tok) Tok {
 	return done
 }
 
-// fastStoreOne is the fused per-op fast path of Store.
+// fastStoreOne is the per-op fast path of Store.
 func (t *Thread) fastStoreOne(b *mem.Buffer, off int64, addrDep, dataDep Tok) Tok {
+	return t.fastStoreAt(b, b.Base+uint64(off), b.Reg.Node, b.Reg.Kind == mem.EPC, b.Reg.Node != t.Node, addrDep, dataDep)
+}
+
+// fastStoreAt is the fused store fast path shared by Store, StoreScatter,
+// RMWScatter and CASLoad, the store counterpart of fastLoadAt.
+func (t *Thread) fastStoreAt(b *mem.Buffer, addr uint64, node int, epc, remote bool, addrDep, dataDep Tok) Tok {
 	issue := Tok(t.issueTick())
 	addrKnown := maxTok(issue, addrDep)
 	if uint64(addrKnown) > t.storeBarrier {
 		t.storeBarrier = uint64(addrKnown)
 	}
 	t.st.Stores++
-	addr := b.Base + uint64(off)
-	inStream := t.trainStream(addr)
-	var tlbLat uint64
-	page := addr >> t.pageShift
-	if page != t.lastPage {
-		if t.dtlb.MRUHit(page) {
-			t.lastPage = page
-		} else {
-			tlbLat = t.fastTranslate(page, b)
-		}
-	}
 	ready := maxTok(addrKnown, dataDep)
 	var done Tok
 	line := addr >> 6
-	if hit, _, _, _ := t.l1.AccessOrFill(line, true); hit {
+	if line == t.mruLine {
+		// Same-line repeat: guaranteed L1-MRU hit; the only state change
+		// is the dirty bit (the preceding access may have been a load).
+		t.l1.DirtyMRU(line)
 		t.st.L1Hits++
-		done = ready + Tok(tlbLat+t.latL1)
-	} else if hit, _, _, _ := t.l2.AccessOrFill(line, true); hit {
-		t.st.L2Hits++
-		done = ready + Tok(tlbLat+t.latL2)
-	} else if hit, _, dirty, ok := t.l3.AccessOrFill(line, true); hit {
-		t.st.L3Hits++
-		done = ready + Tok(tlbLat+t.latL3)
+		done = ready + Tok(t.latL1)
 	} else {
-		node := b.Reg.Node
-		remote := node != t.Node
-		epc := b.Reg.Kind == mem.EPC
-		dl := t.dramFill(true, node, epc, remote, ok && dirty)
-		t.st.DRAMAcc++
-		if inStream {
-			t.st.StreamFills++
-			t.cycle = uint64(issue) + t.pacedAdvance(epc, remote)
-			done = maxTok(ready, Tok(t.cycle))
+		inStream := t.trainStream(addr)
+		var tlbLat uint64
+		page := addr >> t.pageShift
+		if page != t.lastPage {
+			if t.dtlb.MRUHit(page) {
+				t.lastPage = page
+			} else {
+				tlbLat = t.fastTranslate(page, b)
+			}
+		}
+		t.mruLine = line
+		if hit, _, _, _ := t.l1.AccessOrFill(line, true); hit {
+			t.st.L1Hits++
+			done = ready + Tok(tlbLat+t.latL1)
+		} else if hit, _, _, _ := t.l2.AccessOrFill(line, true); hit {
+			t.st.L2Hits++
+			done = ready + Tok(tlbLat+t.latL2)
+		} else if hit, _, dirty, ok := t.l3.AccessOrFill(line, true); hit {
+			t.st.L3Hits++
+			done = ready + Tok(tlbLat+t.latL3)
 		} else {
-			t.st.RandomFills++
-			slot := t.minSlot()
-			start := maxTok(ready, Tok(t.mlp[slot]))
-			done = start + Tok(tlbLat+dl)
-			t.mlp[slot] = uint64(done)
+			dl := t.dramFill(true, node, epc, remote, ok && dirty)
+			t.st.DRAMAcc++
+			if inStream {
+				t.st.StreamFills++
+				t.cycle = uint64(issue) + t.pacedAdvance(epc, remote)
+				done = maxTok(ready, Tok(t.cycle))
+			} else {
+				t.st.RandomFills++
+				slot := t.minSlot()
+				start := maxTok(ready, Tok(t.mlp[slot]))
+				done = start + Tok(tlbLat+dl)
+				t.mlp[slot] = uint64(done)
+			}
 		}
 	}
 	if t.sbuf[t.sbufPos] > t.cycle {

@@ -34,11 +34,14 @@
 //     implementation — one full TLB probe, stream-table scan and
 //     separate cache probe/fill walk per access, over the timestamp-LRU
 //     reference caches;
-//   - the batched fast path (default): bulk APIs (LoadRun, StoreRun,
-//     LoadLines) plus per-op operations over packed recency-ordered
-//     caches, a one-entry last-page translation cache in front of the
-//     DTLB, a cached prefetcher stream slot, fused probe+fill set walks
-//     and precomputed stream-pacing latencies.
+//   - the batched fast path (default): bulk APIs — the sequential runs
+//     LoadRun, StoreRun and LoadLines, and the random-access batches
+//     LoadGather, StoreScatter, RMWScatter, LoadChain and CASLoad — plus
+//     per-op operations over packed recency-ordered caches, a one-entry
+//     last-page translation cache in front of the DTLB, a one-entry MRU
+//     line memo that charges same-line repeat accesses as pure L1 hits,
+//     a cached prefetcher stream slot, fused probe+fill set walks and
+//     precomputed stream-pacing latencies.
 //
 // THE FAST PATH MAY NEVER CHANGE SIMULATED STATISTICS. Both paths must
 // yield bit-identical Stats (cycles, hit counts, DRAM bytes, ...) and
@@ -145,6 +148,7 @@ type Stats struct {
 	StreamFills  uint64    // prefetched (bandwidth-paced) line fills
 	RandomFills  uint64    // latency-bound line fills
 	EvictedDirty uint64    // dirty L3 evictions (writeback traffic)
+	NTStores     uint64    // non-temporal line stores (cache-bypassing)
 }
 
 // Add accumulates other into s (Cycles is maxed, not summed).
@@ -169,6 +173,35 @@ func (s *Stats) Add(o Stats) {
 	s.StreamFills += o.StreamFills
 	s.RandomFills += o.RandomFills
 	s.EvictedDirty += o.EvictedDirty
+	s.NTStores += o.NTStores
+}
+
+// Sub returns the field-wise difference s - o, where o is an earlier
+// snapshot of the same thread or aggregate (Cycles subtracts like every
+// other counter — a snapshot delta, unlike Add's max). Phase deltas in
+// internal/exec are computed with Sub; TestStatsSubCoversAllFields fails
+// if a newly added Stats field is omitted here.
+func (s Stats) Sub(o Stats) Stats {
+	s.Cycles -= o.Cycles
+	s.WorkCycles -= o.WorkCycles
+	s.Loads -= o.Loads
+	s.Stores -= o.Stores
+	s.L1Hits -= o.L1Hits
+	s.L2Hits -= o.L2Hits
+	s.L3Hits -= o.L3Hits
+	s.DRAMAcc -= o.DRAMAcc
+	s.TLBWalks -= o.TLBWalks
+	s.MetaAcc -= o.MetaAcc
+	s.StallSSB -= o.StallSSB
+	s.SpecFlush -= o.SpecFlush
+	s.DRAMBytes[0] -= o.DRAMBytes[0]
+	s.DRAMBytes[1] -= o.DRAMBytes[1]
+	s.UPIBytes -= o.UPIBytes
+	s.StreamFills -= o.StreamFills
+	s.RandomFills -= o.RandomFills
+	s.EvictedDirty -= o.EvictedDirty
+	s.NTStores -= o.NTStores
+	return s
 }
 
 // stream tracks one detected sequential access stream for the prefetcher.
@@ -187,6 +220,10 @@ type stream struct {
 }
 
 const nStreams = 16 // stream-table indexes (x2 ways)
+
+// pwcEntries is the size of the paging-structure cache (Ice Lake keeps
+// on the order of 32 PDE-cache entries, covering 64 MiB).
+const pwcEntries = 32
 
 // Thread is one simulated hardware thread with private L1/L2/TLB state and
 // a share of the socket's L3.
@@ -217,11 +254,31 @@ type Thread struct {
 	mruWay  [nStreams]uint8
 	lpShift uint // log2(lines per page) = pageShift - 6
 
+	// pwc is the paging-structure cache (Intel's PML4E/PDPTE/PDE caches):
+	// a direct-mapped cache of non-leaf page-table entries, tagged by the
+	// 2 MiB region (page >> 9). On a hit the walker serves every non-leaf
+	// level internally and only the leaf PTE fetch travels through the
+	// memory hierarchy — the reason real page walks usually cost one
+	// memory access, not one per level. Shared bit-for-bit by the per-op
+	// and batched paths (deterministic, no replacement ambiguity).
+	pwc [pwcEntries]uint64 // (page>>9)+1; 0 means empty
+
 	// One-entry translation cache: the page of the most recent DTLB probe.
 	// A repeat probe of that page is guaranteed to hit at the MRU position
 	// of its set and leaves no state change, so the fast path skips it.
 	// noPage (an impossible page number) marks it empty.
 	lastPage uint64
+
+	// One-entry line memo: the cache line of the thread's most recent data
+	// access. A repeat access to the same line is guaranteed to hit the
+	// MRU way of its L1 set (every access path leaves the accessed line
+	// L1-MRU), to re-hit the MRU page of the translation path, and to
+	// leave the prefetcher stream table unchanged (a same-line re-touch is
+	// the stream's case 0), so the fast path charges it as a pure L1 hit
+	// without probing any structure. The only state a repeat can change is
+	// the line's dirty bit (a store after a load), applied via DirtyMRU.
+	// noPage marks it empty.
+	mruLine uint64
 
 	ref       bool      // per-op reference mode (golden-test baseline)
 	pageShift uint      // log2(Plat.PageBytes)
@@ -274,6 +331,7 @@ func NewThread(cfg Config, id int) *Thread {
 		ref:   cfg.Reference,
 	}
 	t.lastPage = noPage
+	t.mruLine = noPage
 	if t.ref {
 		t.rl1 = cache.NewRef(cfg.Plat.L1D)
 		t.rl2 = cache.NewRef(cfg.Plat.L2)
@@ -469,14 +527,18 @@ func (t *Thread) storeStep(b *mem.Buffer, off int64, addrDep, dataDep Tok) Tok {
 	return maxTok(ready, dataDep) + 5
 }
 
+// casHold is the line-hold latency of an atomic read-modify-write.
+const casHold = 20
+
 // CAS models an atomic read-modify-write (lock prefix): the line is
 // loaded, held for ~20 cycles, and written back. The returned token is
 // when the new value is globally visible. Used by latches and lock-free
 // queues. Independent CAS operations to different lines still overlap in
 // the memory system (line-granular locking), as on real hardware.
+// CASLoad charges batches of the latch-acquire idiom built on this.
 func (t *Thread) CAS(b *mem.Buffer, off int64, dep Tok) Tok {
 	tok := t.Load(b, off, 8, dep)
-	done := After(tok, 20)
+	done := After(tok, casHold)
 	t.Store(b, off, 8, dep, done)
 	return done
 }

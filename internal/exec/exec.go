@@ -102,7 +102,7 @@ func (g *Group) Phase(name string, body func(t *engine.Thread, id int)) PhaseSta
 		if cyc > ps.Busiest {
 			ps.Busiest = cyc
 		}
-		d := delta(before[i], s)
+		d := s.Sub(before[i])
 		ps.Agg.Add(d)
 		dram[0] += d.DRAMBytes[0]
 		dram[1] += d.DRAMBytes[1]
@@ -146,28 +146,4 @@ func (g *Group) TotalStats() engine.Stats {
 	}
 	s.Cycles = g.clock
 	return s
-}
-
-func delta(a, b engine.Stats) engine.Stats {
-	d := engine.Stats{
-		Cycles:       b.Cycles - a.Cycles,
-		WorkCycles:   b.WorkCycles - a.WorkCycles,
-		Loads:        b.Loads - a.Loads,
-		Stores:       b.Stores - a.Stores,
-		L1Hits:       b.L1Hits - a.L1Hits,
-		L2Hits:       b.L2Hits - a.L2Hits,
-		L3Hits:       b.L3Hits - a.L3Hits,
-		DRAMAcc:      b.DRAMAcc - a.DRAMAcc,
-		TLBWalks:     b.TLBWalks - a.TLBWalks,
-		MetaAcc:      b.MetaAcc - a.MetaAcc,
-		StallSSB:     b.StallSSB - a.StallSSB,
-		SpecFlush:    b.SpecFlush - a.SpecFlush,
-		UPIBytes:     b.UPIBytes - a.UPIBytes,
-		StreamFills:  b.StreamFills - a.StreamFills,
-		RandomFills:  b.RandomFills - a.RandomFills,
-		EvictedDirty: b.EvictedDirty - a.EvictedDirty,
-	}
-	d.DRAMBytes[0] = b.DRAMBytes[0] - a.DRAMBytes[0]
-	d.DRAMBytes[1] = b.DRAMBytes[1] - a.DRAMBytes[1]
-	return d
 }

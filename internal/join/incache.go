@@ -7,16 +7,21 @@ import (
 )
 
 // scratch is a per-thread reusable hash area for in-cache partition joins
-// (the join method RHO and CrkJoin share, [3, 26]). Buckets hold
-// 1-based row indexes into the current R partition; chains run through
-// next. An epoch counter makes clearing free; the timed cost of the
-// (tiny) bucket memset is charged explicitly.
+// (the join method RHO and CrkJoin share, [3, 26]). Buckets hold 1-based
+// entry indexes; each entry packs the build tuple together with its chain
+// link (16 bytes), as in the bucket-chained tables of the TEEBench
+// lineage — a probe hop therefore costs one load, not a tuple load plus a
+// separate link load. An epoch counter makes clearing free; the timed
+// cost of the (tiny) bucket memset is charged explicitly.
 type scratch struct {
 	buckets *mem.U32Buf
 	epoch   *mem.U32Buf // real epoch tags (no timing: part of buckets line)
-	next    *mem.U32Buf
+	ents    *mem.U64Buf // 2 words per entry: tuple, chain link
 	gen     uint32
 }
+
+// entStride is the byte size of one chain entry (tuple + link, padded).
+const entStride = 16
 
 func newScratch(env *core.Env, maxPartRows int) *scratch {
 	nb := nextPow2(maxPartRows)
@@ -26,7 +31,7 @@ func newScratch(env *core.Env, maxPartRows int) *scratch {
 	return &scratch{
 		buckets: env.Space.AllocU32("join.buckets", nb, env.DataRegion()),
 		epoch:   env.Space.AllocU32("join.epoch", nb, env.DataRegion()),
-		next:    env.Space.AllocU32("join.next", maxPartRows+1, env.DataRegion()),
+		ents:    env.Space.AllocU64("join.ents", 2*(maxPartRows+1), env.DataRegion()),
 	}
 }
 
@@ -69,7 +74,11 @@ func joinPartition(t *engine.Thread, R *mem.U64Buf, rLo, rHi int, S *mem.U64Buf,
 			head = sc.buckets.D[h]
 		}
 		row := i - rLo + 1
-		engine.StoreU32(t, sc.next, row, head, 0, headTok)
+		// Entry store at the sequential entry cursor: the tuple and its
+		// chain link leave together in one 16-byte store.
+		sc.ents.D[2*row] = tup
+		sc.ents.D[2*row+1] = uint64(head)
+		t.Store(&sc.ents.Buffer, int64(row)*entStride, entStride, 0, headTok)
 		sc.buckets.D[h] = uint32(row)
 		sc.epoch.D[h] = sc.gen
 		// Bucket head update: store address derived from the loaded key.
@@ -82,15 +91,39 @@ func joinPartition(t *engine.Thread, R *mem.U64Buf, rLo, rHi int, S *mem.U64Buf,
 		}
 	} else {
 		const u = 8
-		var toks [u]engine.Tok
+		var toks, hToks, headToks, entDeps [u]engine.Tok
+		var bOffs, entOffs [u]int64
+		var hs [u]uint32
 		i := rLo
 		for ; i+u <= rHi; i += u {
 			// Load group: one batched run of u consecutive tuple loads
-			// ahead of the hash-dependent bucket stores.
-			t.LoadRunToks(&R.Buffer, R.Off(i), 8, u, 0, toks[:])
+			// ahead of the hash-dependent bucket stores. The bucket-head
+			// load + update pairs are one read-modify-write scatter (each
+			// pair shares its bucket line), the entry stores one scatter
+			// of consecutive 16-byte entries.
+			lineTok := t.LoadRun(&R.Buffer, R.Off(i), 64, 1, 0) // one vector load per 8 keys
 			for j := 0; j < u; j++ {
-				insert(i+j, R.D[i+j], toks[j])
+				toks[j] = engine.After(lineTok, 1) // lane extract
+				hs[j] = hashIdx(mem.TupleKey(R.D[i+j]), bits)
+				hToks[j] = engine.After(toks[j], hashCost)
+				bOffs[j] = sc.buckets.Off(int(hs[j]))
 			}
+			t.RMWScatter(&sc.buckets.Buffer, 4, bOffs[:], hToks[:], headToks[:])
+			for j := 0; j < u; j++ {
+				h := hs[j]
+				var head uint32
+				if sc.epoch.D[h] == sc.gen {
+					head = sc.buckets.D[h]
+				}
+				row := i + j - rLo + 1
+				sc.ents.D[2*row] = R.D[i+j]
+				sc.ents.D[2*row+1] = uint64(head)
+				sc.buckets.D[h] = uint32(row)
+				sc.epoch.D[h] = sc.gen
+				entOffs[j] = int64(row) * entStride
+				entDeps[j] = headToks[j]
+			}
+			t.StoreScatter(&sc.ents.Buffer, entStride, entOffs[:], nil, entDeps[:])
 		}
 		for ; i < rHi; i++ {
 			tup, tok := engine.LoadU64(t, R, i, 0)
@@ -105,28 +138,36 @@ func joinPartition(t *engine.Thread, R *mem.U64Buf, rLo, rHi int, S *mem.U64Buf,
 
 	// --- Probe ---
 	var matches uint64
-	probeOne := func(tup uint64, tok engine.Tok) {
+	// compareEntry charges the key compare of one chain entry and emits
+	// output; it returns the next 1-based entry index.
+	compareEntry := func(tup uint64, key uint32, row uint32, entryTok engine.Tok) uint32 {
+		t.Work(1)
+		rt := sc.ents.D[2*row]
+		if mem.TupleKey(rt) == key {
+			matches++
+			if out != nil {
+				out.append(t, mem.MakeTuple(mem.TuplePayload(tup), mem.TuplePayload(rt)), entryTok)
+			}
+		}
+		return uint32(sc.ents.D[2*row+1])
+	}
+	chase := func(tup uint64, chainTok engine.Tok) {
 		key := mem.TupleKey(tup)
 		h := hashIdx(key, bits)
-		hTok := engine.After(tok, hashCost)
-		chainTok := t.Load(&sc.buckets.Buffer, sc.buckets.Off(int(h)), 4, hTok)
 		var row uint32
 		if sc.epoch.D[h] == sc.gen {
 			row = sc.buckets.D[h]
 		}
 		for row != 0 {
-			rTok := t.Load(&R.Buffer, R.Off(rLo+int(row)-1), 8, chainTok)
-			t.Work(1)
-			rt := R.D[rLo+int(row)-1]
-			if mem.TupleKey(rt) == key {
-				matches++
-				if out != nil {
-					out.append(t, mem.MakeTuple(mem.TuplePayload(tup), mem.TuplePayload(rt)), rTok)
-				}
-			}
-			chainTok = t.Load(&sc.next.Buffer, sc.next.Off(int(row)), 4, rTok)
-			row = sc.next.D[row]
+			entryTok := t.Load(&sc.ents.Buffer, int64(row)*entStride, entStride, chainTok)
+			row = compareEntry(tup, key, row, entryTok)
+			chainTok = engine.After(entryTok, 1)
 		}
+	}
+	probeOne := func(tup uint64, tok engine.Tok) {
+		h := hashIdx(mem.TupleKey(tup), bits)
+		hTok := engine.After(tok, hashCost)
+		chase(tup, t.Load(&sc.buckets.Buffer, sc.buckets.Off(int(h)), 4, hTok))
 	}
 	if !optimized {
 		for j := sLo; j < sHi; j++ {
@@ -135,13 +176,50 @@ func joinPartition(t *engine.Thread, R *mem.U64Buf, rLo, rHi int, S *mem.U64Buf,
 		}
 	} else {
 		const u = 8
-		var toks [u]engine.Tok
+		var toks, hToks, chainToks, entDeps, entToks [u]engine.Tok
+		var bOffs, entOffs [u]int64
+		var rows, hs [u]uint32
+		var idx [u]int
 		j := sLo
 		for ; j+u <= sHi; j += u {
-			// Load group: batched probe-side loads ahead of the chains.
-			t.LoadRunToks(&S.Buffer, S.Off(j), 8, u, 0, toks[:])
+			// Load group: batched probe-side loads, one gather of the
+			// batch's bucket heads, then — the chain heads being known —
+			// one gather of the first chain entries, before the per-tuple
+			// compares and (rare) longer chains.
+			lineTok := t.LoadRun(&S.Buffer, S.Off(j), 64, 1, 0) // one vector load per 8 keys
 			for l := 0; l < u; l++ {
-				probeOne(S.D[j+l], toks[l])
+				toks[l] = engine.After(lineTok, 1) // lane extract
+				hs[l] = hashIdx(mem.TupleKey(S.D[j+l]), bits)
+				hToks[l] = engine.After(toks[l], hashCost)
+				bOffs[l] = sc.buckets.Off(int(hs[l]))
+			}
+			t.LoadGather(&sc.buckets.Buffer, 4, bOffs[:], hToks[:], chainToks[:])
+			n := 0
+			for l := 0; l < u; l++ {
+				h := hs[l]
+				var row uint32
+				if sc.epoch.D[h] == sc.gen {
+					row = sc.buckets.D[h]
+				}
+				if row != 0 {
+					rows[n] = row
+					idx[n] = l
+					entOffs[n] = int64(row) * entStride
+					entDeps[n] = chainToks[l]
+					n++
+				}
+			}
+			t.LoadGather(&sc.ents.Buffer, entStride, entOffs[:n], entDeps[:n], entToks[:n])
+			for k := 0; k < n; k++ {
+				tup := S.D[j+idx[k]]
+				key := mem.TupleKey(tup)
+				row := compareEntry(tup, key, rows[k], entToks[k])
+				chainTok := engine.After(entToks[k], 1)
+				for row != 0 {
+					entryTok := t.Load(&sc.ents.Buffer, int64(row)*entStride, entStride, chainTok)
+					row = compareEntry(tup, key, row, entryTok)
+					chainTok = engine.After(entryTok, 1)
+				}
 			}
 		}
 		for ; j < sHi; j++ {

@@ -47,11 +47,32 @@ func sortChunkTimed(t *engine.Thread, buf *mem.U64Buf, tmp *mem.U64Buf, lo, hi i
 		return
 	}
 	sort.Slice(buf.D[lo:hi], func(i, j int) bool { return tupLess(buf.D[lo+i], buf.D[lo+j]) })
+	const passBlock = 32
+	var offs [passBlock]int64
+	var toks [passBlock]engine.Tok
 	pass := func(src, dst *mem.U64Buf, a, b int) {
-		for o := a * 8; o < b*8; o += 64 {
-			tok := engine.LoadLine(t, &src.Buffer, int64(o), 0)
+		o := int64(a * 8)
+		end := int64(b * 8)
+		// Full-line blocks: one batched load run per block, then the
+		// line stores with their per-line data dependencies as one
+		// scatter (the merge network consumes a line before emitting it).
+		for o+64 <= end {
+			blk := int((end - o) / 64)
+			if blk > passBlock {
+				blk = passBlock
+			}
+			t.LoadRunToks(&src.Buffer, o, 64, blk, 0, toks[:blk])
+			t.Work(8 * mergeWork * uint64(blk))
+			for l := 0; l < blk; l++ {
+				offs[l] = o + int64(l)*64
+			}
+			t.StoreScatter(&dst.Buffer, 64, offs[:blk], nil, toks[:blk])
+			o += int64(blk) * 64
+		}
+		if o < end {
+			tok := engine.LoadLine(t, &src.Buffer, o, 0)
 			t.Work(8 * mergeWork)
-			engine.StoreLine(t, &dst.Buffer, int64(o), 0, tok)
+			engine.StoreLine(t, &dst.Buffer, o, 0, tok)
 		}
 	}
 	// In-cache run sorting: all passes of one run before the next run.

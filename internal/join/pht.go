@@ -31,23 +31,38 @@ func NewPHT() *PHT { return &PHT{} }
 func (*PHT) Name() string { return "PHT" }
 
 // bucketBytes is the size of one bucket: two cache lines — a header line
-// (latch, count, first slots) and a slot line. A probe therefore chases
-// two dependent loads (header, then slots), as in chained tables.
+// (latch, count, first slots) and a slot line. A probe chases the header
+// line and, only when the bucket has spilled past it, the dependent slot
+// line — with foreign-key build sides most buckets hold a couple of
+// tuples, so the common probe is a single random access.
 const bucketBytes = 128
 
 // inlineSlots is the number of tuples stored inline before overflowing.
 const inlineSlots = 8
 
-// phtTable is the shared hash table. Real values live in the per-bucket
-// slices (guarded by striped locks); timing flows through the line-sized
-// bucket buffer and the overflow arena.
+// hdrSlots is the number of inline slots that share the header line
+// (latch + count + 6 tuples); slots beyond it live on the bucket's
+// second line.
+const hdrSlots = 6
+
+// bucketStride is the per-bucket word count of the flat backing array:
+// the count word followed by the inline slots, mirroring the simulated
+// bucket layout so one probe touches one host cache region instead of
+// chasing per-bucket slice headers.
+const bucketStride = inlineSlots + 1
+
+// phtTable is the shared hash table. Real values live in the flat
+// per-bucket array (guarded by striped locks during the build); timing
+// flows through the line-sized bucket buffer and the overflow arena.
 type phtTable struct {
 	bits     uint
-	buckets  mem.Buffer // nBuckets cache lines (counts + inline slots)
+	buckets  mem.Buffer // nBuckets x bucketBytes (counts + inline slots)
 	overflow mem.Buffer // overflow entry arena (timing only)
 	locks    []sync.Mutex
-	rows     [][]uint64 // real contents per bucket
-	ovCount  []int      // overflow entries appended per thread (timing cursor)
+	flat     []uint64         // bucketStride words per bucket: count, slots
+	ovMu     sync.Mutex       // guards over (overflow is rare)
+	over     map[int][]uint64 // tuples beyond inlineSlots, per bucket
+	ovCount  []int            // overflow entries appended per thread (timing cursor)
 }
 
 const lockStripes = 1024
@@ -59,13 +74,54 @@ func newPHTTable(env *core.Env, nBuild, threads int) *phtTable {
 		buckets:  env.Alloc.Raw(nil, "pht.buckets", int64(nBuckets)*bucketBytes),
 		overflow: env.Alloc.Raw(nil, "pht.overflow", int64(nBuild+1)*16),
 		locks:    make([]sync.Mutex, lockStripes),
-		rows:     make([][]uint64, nBuckets),
+		flat:     make([]uint64, nBuckets*bucketStride),
+		over:     make(map[int][]uint64),
 		ovCount:  make([]int, threads),
 	}
 	return ht
 }
 
 func (h *phtTable) bucketOf(key uint32) int { return int(hashIdx(key, h.bits)) }
+
+// place appends tup to bucket b's real contents and returns its previous
+// count (the slot index the simulated store targets).
+func (h *phtTable) place(b int, tup uint64) int {
+	h.locks[b&(lockStripes-1)].Lock()
+	fb := b * bucketStride
+	cnt := int(h.flat[fb])
+	if cnt < inlineSlots {
+		h.flat[fb+1+cnt] = tup
+	} else {
+		h.ovMu.Lock()
+		h.over[b] = append(h.over[b], tup)
+		h.ovMu.Unlock()
+	}
+	h.flat[fb] = uint64(cnt + 1)
+	h.locks[b&(lockStripes-1)].Unlock()
+	return cnt
+}
+
+// slotOff returns the simulated offset of inline slot cnt of the bucket
+// at base: the first hdrSlots tuples share the header line, the rest live
+// on the bucket's second line.
+func slotOff(base int64, cnt int) int64 {
+	if cnt < hdrSlots {
+		return base + 8 + int64(cnt)*8
+	}
+	return base + 64 + int64(cnt-hdrSlots)*8
+}
+
+// overflowStores charges the arena append of one overflowing insert
+// (the bucket-side chain-pointer store is issued by the caller).
+func (h *phtTable) overflowStores(t *engine.Thread, id int, slotTok, keyTok engine.Tok) {
+	pos := h.ovCount[id]
+	h.ovCount[id] = pos + 1
+	off := int64(id)*16 + int64(pos*16*len(h.ovCount)) // per-thread interleaved arena
+	if off+16 > h.overflow.Size {
+		off = h.overflow.Size - 16
+	}
+	t.Store(&h.overflow, off, 8, slotTok, keyTok)
+}
 
 // insert adds one tuple: latch the bucket, read its count, store the
 // tuple at the count-derived slot, bump the count.
@@ -78,48 +134,125 @@ func (h *phtTable) insert(t *engine.Thread, id int, tup uint64, keyTok engine.To
 	latchTok := t.CAS(&h.buckets, base, hTok)
 	// Count load: random access, address derived from the key's hash.
 	cntTok := t.Load(&h.buckets, base, 4, latchTok)
-	h.locks[b&(lockStripes-1)].Lock()
-	cnt := len(h.rows[b])
-	h.rows[b] = append(h.rows[b], tup)
-	h.locks[b&(lockStripes-1)].Unlock()
+	cnt := h.place(b, tup)
 	slotTok := engine.After(cntTok, 1)
 	if cnt < inlineSlots {
 		// Tuple store at bucket[count]: store address depends on the
 		// loaded count — the SSB-sensitive pattern. Slots beyond the
 		// header line live on the bucket's second line.
-		slotOff := base + 8 + int64(cnt)*8
-		if cnt >= 6 {
-			slotOff = base + 64 + int64(cnt-6)*8
-		}
-		t.Store(&h.buckets, slotOff, 8, slotTok, keyTok)
+		t.Store(&h.buckets, slotOff(base, cnt), 8, slotTok, keyTok)
 	} else {
 		// Overflow entry: append to the arena and link it.
-		pos := h.ovCount[id]
-		h.ovCount[id] = pos + 1
-		off := int64(id)*16 + int64(pos*16*len(h.ovCount)) // per-thread interleaved arena
-		if off+16 > h.overflow.Size {
-			off = h.overflow.Size - 16
-		}
-		t.Store(&h.overflow, off, 8, slotTok, keyTok)
+		h.overflowStores(t, id, slotTok, keyTok)
 		t.Store(&h.buckets, base+8+int64(inlineSlots)*8, 8, slotTok, 0) // chain pointer
 	}
 	// Count update + latch release share the bucket line.
 	t.Store(&h.buckets, base, 4, hTok, slotTok)
 }
 
-// probe returns the number of matches for key and appends output rows.
-func (h *phtTable) probe(t *engine.Thread, tup uint64, keyTok engine.Tok, out *outWriter) (uint64, engine.Tok) {
+// phtBatch holds the reusable scratch vectors of the batched build and
+// probe loops (one per worker thread).
+type phtBatch struct {
+	baseOffs  []int64
+	hToks     []engine.Tok
+	latchToks []engine.Tok
+	cntToks   []engine.Tok
+	slotToks  []engine.Tok
+	sOffs     []int64
+	sADeps    []engine.Tok
+	sDDeps    []engine.Tok
+	off0      []int64
+	off1      []int64
+	longDeps  []engine.Tok
+	longToks  []engine.Tok
+	longIdx   []int
+	shortOffs []int64
+	shortDeps []engine.Tok
+	shortToks []engine.Tok
+	shortIdx  []int
+	scanToks  []engine.Tok
+	bkts      []int32
+}
+
+func newPHTBatch(u int) *phtBatch {
+	return &phtBatch{
+		baseOffs:  make([]int64, u),
+		hToks:     make([]engine.Tok, u),
+		latchToks: make([]engine.Tok, u),
+		cntToks:   make([]engine.Tok, u),
+		slotToks:  make([]engine.Tok, u),
+		sOffs:     make([]int64, u),
+		sADeps:    make([]engine.Tok, u),
+		sDDeps:    make([]engine.Tok, u),
+		off0:      make([]int64, u),
+		off1:      make([]int64, u),
+		longDeps:  make([]engine.Tok, u),
+		longToks:  make([]engine.Tok, u),
+		longIdx:   make([]int, u),
+		shortOffs: make([]int64, u),
+		shortDeps: make([]engine.Tok, u),
+		shortToks: make([]engine.Tok, u),
+		shortIdx:  make([]int, u),
+		scanToks:  make([]engine.Tok, u),
+		bkts:      make([]int32, u),
+	}
+}
+
+// insertBatch is the unroll + reorder build kernel over the batched APIs:
+// the batch's latch CAS + count loads are one CASLoad (each element's
+// three micro-accesses share the bucket's header line), then the
+// count-addressed tuple stores and the count/latch-release stores are
+// dispatched as scatter groups.
+func (h *phtTable) insertBatch(t *engine.Thread, id int, tups []uint64, keyToks []engine.Tok, sc *phtBatch) {
+	u := len(tups)
+	for j := 0; j < u; j++ {
+		b := h.bucketOf(mem.TupleKey(tups[j]))
+		sc.baseOffs[j] = int64(b) * bucketBytes
+		sc.hToks[j] = engine.After(keyToks[j], hashCost)
+	}
+	t.CASLoad(&h.buckets, 4, sc.baseOffs[:u], sc.hToks[:u], sc.latchToks[:u], sc.cntToks[:u])
+	nS := 0
+	for j := 0; j < u; j++ {
+		b := int(sc.baseOffs[j] / bucketBytes)
+		cnt := h.place(b, tups[j])
+		sc.slotToks[j] = engine.After(sc.cntToks[j], 1)
+		if cnt < inlineSlots {
+			sc.sOffs[nS] = slotOff(sc.baseOffs[j], cnt)
+			sc.sADeps[nS] = sc.slotToks[j]
+			sc.sDDeps[nS] = keyToks[j]
+			nS++
+		} else {
+			h.overflowStores(t, id, sc.slotToks[j], keyToks[j])
+			sc.sOffs[nS] = sc.baseOffs[j] + 8 + int64(inlineSlots)*8 // chain pointer
+			sc.sADeps[nS] = sc.slotToks[j]
+			sc.sDDeps[nS] = 0
+			nS++
+		}
+	}
+	t.StoreScatter(&h.buckets, 8, sc.sOffs[:nS], sc.sADeps[:nS], sc.sDDeps[:nS])
+	// Count updates + latch releases.
+	t.StoreScatter(&h.buckets, 4, sc.baseOffs[:u], sc.hToks[:u], sc.slotToks[:u])
+}
+
+// scanBucket compares the probe tuple against bucket b's contents
+// (timing of the compares and overflow-chain hops; the header/slot-line
+// loads were already charged and produced scanTok).
+func (h *phtTable) scanBucket(t *engine.Thread, b int, tup uint64, scanTok engine.Tok, out *outWriter) (uint64, engine.Tok) {
 	key := mem.TupleKey(tup)
-	b := h.bucketOf(key)
-	hTok := engine.After(keyTok, hashCost)
-	base := int64(b) * bucketBytes
-	// Header line, then the dependent slot line.
-	hdrTok := t.Load(&h.buckets, base, 8, hTok)
-	lineTok := t.Load(&h.buckets, base+64, 8, engine.After(hdrTok, 1))
-	rows := h.rows[b]
+	fb := b * bucketStride
+	n := int(h.flat[fb])
+	var ov []uint64
+	if n > inlineSlots {
+		ov = h.over[b]
+	}
 	var matches uint64
-	scanTok := lineTok
-	for i, r := range rows {
+	for i := 0; i < n; i++ {
+		var r uint64
+		if i < inlineSlots {
+			r = h.flat[fb+1+i]
+		} else {
+			r = ov[i-inlineSlots]
+		}
 		if i > 0 && i%inlineSlots == 0 {
 			// Overflow chain: dependent load per spilled entry group.
 			scanTok = t.Load(&h.overflow, int64(i%32)*16, 8, scanTok)
@@ -135,6 +268,62 @@ func (h *phtTable) probe(t *engine.Thread, tup uint64, keyTok engine.Tok, out *o
 	return matches, scanTok
 }
 
+// probe returns the number of matches for key and appends output rows.
+func (h *phtTable) probe(t *engine.Thread, tup uint64, keyTok engine.Tok, out *outWriter) (uint64, engine.Tok) {
+	b := h.bucketOf(mem.TupleKey(tup))
+	hTok := engine.After(keyTok, hashCost)
+	base := int64(b) * bucketBytes
+	// Header line, then the dependent slot line.
+	hdrTok := t.Load(&h.buckets, base, 8, hTok)
+	scanTok := t.Load(&h.buckets, base+64, 8, engine.After(hdrTok, 1))
+	return h.scanBucket(t, b, tup, scanTok, out)
+}
+
+// probeBatch is the unroll + reorder probe kernel over the batched APIs.
+// Besides grouping the key loads ahead of the bucket accesses, the
+// optimized probe gates the slot-line access on the header's count: the
+// header line arrives first anyway, so a bucket that fits its header
+// line (the common case for foreign-key builds) costs one random access.
+// Buckets that spilled past the header form one header→slot LoadChain,
+// the rest one header gather; each tuple's compare loop then runs in
+// batch order.
+func (h *phtTable) probeBatch(t *engine.Thread, tups []uint64, keyToks []engine.Tok, sc *phtBatch, out *outWriter) uint64 {
+	u := len(tups)
+	nShort, nLong := 0, 0
+	for j := 0; j < u; j++ {
+		b := h.bucketOf(mem.TupleKey(tups[j]))
+		sc.bkts[j] = int32(b)
+		base := int64(b) * bucketBytes
+		hTok := engine.After(keyToks[j], hashCost)
+		if int(h.flat[b*bucketStride]) > hdrSlots {
+			sc.off0[nLong] = base
+			sc.off1[nLong] = base + 64
+			sc.longDeps[nLong] = hTok
+			sc.longIdx[nLong] = j
+			nLong++
+		} else {
+			sc.shortOffs[nShort] = base
+			sc.shortDeps[nShort] = hTok
+			sc.shortIdx[nShort] = j
+			nShort++
+		}
+	}
+	t.LoadGather(&h.buckets, 8, sc.shortOffs[:nShort], sc.shortDeps[:nShort], sc.shortToks[:nShort])
+	t.LoadChain(&h.buckets, 8, sc.off0[:nLong], sc.off1[:nLong], 1, sc.longDeps[:nLong], sc.longToks[:nLong])
+	for k := 0; k < nShort; k++ {
+		sc.scanToks[sc.shortIdx[k]] = sc.shortToks[k]
+	}
+	for k := 0; k < nLong; k++ {
+		sc.scanToks[sc.longIdx[k]] = sc.longToks[k]
+	}
+	var matches uint64
+	for j := 0; j < u; j++ {
+		m, _ := h.scanBucket(t, int(sc.bkts[j]), tups[j], sc.scanToks[j], out)
+		matches += m
+	}
+	return matches
+}
+
 // Run executes the join.
 func (p *PHT) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Result, error) {
 	T := opt.threads()
@@ -144,7 +333,7 @@ func (p *PHT) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Resu
 
 	unroll := 1
 	if opt.Optimized {
-		unroll = 8
+		unroll = 8 // one vector key load per batch
 	}
 
 	bp := g.Phase("Build", func(t *engine.Thread, id int) {
@@ -158,14 +347,19 @@ func (p *PHT) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Resu
 		}
 		// Optimized build: group the key loads and hash computations of a
 		// batch ahead of the count-dependent stores (Section 4.2 applied
-		// to PHT, Fig 9 "PHT O"). The load group is one batched run.
+		// to PHT, Fig 9 "PHT O"). The load group is one batched run; the
+		// bucket operations go through the CASLoad/StoreScatter batch.
+		sc := newPHTBatch(unroll)
 		toks := make([]engine.Tok, unroll)
+		lineToks := make([]engine.Tok, unroll/8)
 		i := lo
 		for ; i+unroll <= hi; i += unroll {
-			t.LoadRunToks(&build.Tup.Buffer, build.Tup.Off(i), 8, unroll, 0, toks)
-			for j := 0; j < unroll; j++ {
-				ht.insert(t, id, build.Tup.D[i+j], toks[j])
+			// Vector loads cover the batch's keys 8 lanes at a time.
+			t.LoadRunToks(&build.Tup.Buffer, build.Tup.Off(i), 64, unroll/8, 0, lineToks)
+			for j := range toks {
+				toks[j] = engine.After(lineToks[j/8], 1) // lane extract
 			}
+			ht.insertBatch(t, id, build.Tup.D[i:i+unroll], toks, sc)
 		}
 		for ; i < hi; i++ {
 			tup, tok := engine.LoadU64(t, build.Tup, i, 0)
@@ -191,14 +385,17 @@ func (p *PHT) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Resu
 				local += m
 			}
 		} else {
+			sc := newPHTBatch(unroll)
 			toks := make([]engine.Tok, unroll)
+			lineToks := make([]engine.Tok, unroll/8)
 			i := lo
 			for ; i+unroll <= hi; i += unroll {
-				t.LoadRunToks(&probe.Tup.Buffer, probe.Tup.Off(i), 8, unroll, 0, toks)
-				for j := 0; j < unroll; j++ {
-					m, _ := ht.probe(t, probe.Tup.D[i+j], toks[j], out)
-					local += m
+				// Vector loads cover the batch's keys 8 lanes at a time.
+				t.LoadRunToks(&probe.Tup.Buffer, probe.Tup.Off(i), 64, unroll/8, 0, lineToks)
+				for j := range toks {
+					toks[j] = engine.After(lineToks[j/8], 1) // lane extract
 				}
+				local += ht.probeBatch(t, probe.Tup.D[i:i+unroll], toks, sc, out)
 			}
 			for ; i < hi; i++ {
 				tup, tok := engine.LoadU64(t, probe.Tup, i, 0)

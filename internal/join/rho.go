@@ -98,22 +98,39 @@ func (r *RHO) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Resu
 	res := &Result{Algorithm: r.Name()}
 
 	unroll := 1
+	avx := false
 	if opt.Optimized {
-		unroll = kernels.ScalarRegBudget
+		// The optimized variant uses the AVX-512 histogram: 8-wide
+		// vectorized index computation at the vector register budget of
+		// Fig 8, with line-granular key loads and no spills.
+		unroll = kernels.AVXRegBudget
+		avx = true
 	}
 	spills := make([]*mem.U32Buf, T)
+	wcs := make([]*mem.U64Buf, T)
+	maxP := p1
+	if p2 > maxP {
+		maxP = p2
+	}
 	for i := range spills {
 		spills[i] = env.Space.AllocU32("spill", 64, env.DataRegion())
+		if opt.Optimized {
+			// Per-thread write-combining arena: one line per partition.
+			wcs[i] = env.Space.AllocU64("wc", maxP*8, env.DataRegion())
+		}
 	}
 	histCfg := func(id int, shift, bits uint) kernels.HistConfig {
-		return kernels.HistConfig{Shift: shift, Bits: bits, Unroll: unroll, Spill: spills[id]}
+		return kernels.HistConfig{Shift: shift, Bits: bits, Unroll: unroll, AVX: avx, Spill: spills[id]}
 	}
-	scatCfg := func(shift, bits uint) kernels.ScatterConfig {
+	scatCfg := func(id int, shift, bits uint) kernels.ScatterConfig {
 		u := 1
 		if opt.Optimized {
-			u = 4
+			// The write-combining copy keeps no per-tuple cursor in
+			// registers, so it can afford the same unroll depth as the
+			// histogram (Fig 8's budget).
+			u = 8
 		}
-		return kernels.ScatterConfig{Shift: shift, Bits: bits, Unroll: u}
+		return kernels.ScatterConfig{Shift: shift, Bits: bits, Unroll: u, WC: wcs[id]}
 	}
 
 	// --- Pass 1: histograms over both inputs ---
@@ -126,18 +143,23 @@ func (r *RHO) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Resu
 
 	// --- Pass 1: cursor computation + scatter ---
 	g.Phase("Copy1", func(t *engine.Thread, id int) {
+		offs := make([]int64, T)
 		for _, st := range []*rhoState{R, S} {
 			// Each thread derives its own cursor column from the shared
-			// histogram matrix (timed sequential reads).
+			// histogram matrix: per partition, one strided gather of the
+			// T per-thread counts, then the thread's own cursor store.
 			base := 0
 			for p := 0; p < p1; p++ {
+				for tt := 0; tt < T; tt++ {
+					offs[tt] = st.h1.Off(tt*p1 + p)
+				}
+				t.LoadGather(&st.h1.Buffer, 4, offs, nil, nil)
 				cum := base
 				for tt := 0; tt < T; tt++ {
-					v, _ := engine.LoadU32(t, st.h1, tt*p1+p, 0)
 					if tt == id {
 						engine.StoreU32(t, st.cur1, id*p1+p, uint32(cum), 0, 0)
 					}
-					cum += int(v)
+					cum += int(st.h1.D[tt*p1+p])
 				}
 				if id == 0 {
 					st.start1[p] = base
@@ -146,7 +168,7 @@ func (r *RHO) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Resu
 				base = cum
 			}
 			lo, hi := chunk(st.in.Len(), T, id)
-			kernels.Scatter(t, st.in, lo, hi, st.tmp, st.cur1, id*p1, scatCfg(0, b1))
+			kernels.Scatter(t, st.in, lo, hi, st.tmp, st.cur1, id*p1, scatCfg(id, 0, b1))
 		}
 	})
 	// --- Pass 2: per-partition histograms ---
@@ -178,7 +200,7 @@ func (r *RHO) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Resu
 					cum += v
 				}
 				t.StoreRun(&st.cur2.Buffer, st.cur2.Off(pp*p2), 4, p2, 0, engine.After(tok, 1))
-				kernels.Scatter(t, st.tmp, lo, hi, st.out, st.cur2, pp*p2, scatCfg(b1, b2))
+				kernels.Scatter(t, st.tmp, lo, hi, st.out, st.cur2, pp*p2, scatCfg(id, b1, b2))
 			}
 		}
 	})

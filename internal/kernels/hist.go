@@ -105,6 +105,7 @@ func histUnrolled(t *engine.Thread, data *mem.U64Buf, lo, hi int, hist *mem.U32B
 	mask := cfg.mask()
 	idxs := make([]int, u)
 	toks := make([]engine.Tok, u)
+	offs := make([]int64, u)
 	var lineToks []engine.Tok
 	if cfg.AVX {
 		lineToks = make([]engine.Tok, u/AVXLanes)
@@ -131,6 +132,17 @@ func histUnrolled(t *engine.Thread, data *mem.U64Buf, lo, hi int, hist *mem.U32B
 				idxs[j] = int((mem.TupleKey(data.D[i+j]) >> cfg.Shift) & mask)
 				toks[j] = engine.After(toks[j], keyCompute)
 			}
+		}
+		if u <= budget {
+			// Store group without spills: the per-bin load + increment
+			// pairs are one batched read-modify-write scatter (identical
+			// per-element sequence to the per-op dispatch below).
+			for j := 0; j < u; j++ {
+				offs[j] = hist.Off(histBase + idxs[j])
+				hist.D[histBase+idxs[j]]++
+			}
+			t.RMWScatter(&hist.Buffer, 4, offs, toks, nil)
+			continue
 		}
 		// Registers beyond the budget spill to the stack.
 		for j := budget; j < u; j++ {

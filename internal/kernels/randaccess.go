@@ -31,6 +31,38 @@ func RandomAccess(t *engine.Thread, buf mem.Buffer, ops int, write bool, seed ui
 	return t.Cycle() - start
 }
 
+// GatherAccess is the RandomAccess micro-benchmark restructured over the
+// batched gather/scatter APIs: the same LCG offset stream, collected into
+// address batches and issued through one engine invocation per batch (the
+// unrolled codegen of the Fig 5 loop). Returns the consumed cycles.
+func GatherAccess(t *engine.Thread, buf mem.Buffer, ops int, write bool, seed uint64) uint64 {
+	const batch = 64
+	start := t.Cycle()
+	lcg := rng.NewLCG(seed)
+	slots := uint64(buf.Size / 8)
+	if slots == 0 {
+		slots = 1
+	}
+	offs := make([]int64, batch)
+	for i := 0; i < ops; i += batch {
+		n := ops - i
+		if n > batch {
+			n = batch
+		}
+		for j := 0; j < n; j++ {
+			offs[j] = int64(lcg.Uint64n(slots)) * 8
+		}
+		t.Work(uint64(n)) // LCG advances (mul+add, pipelined)
+		if write {
+			t.StoreScatter(&buf, 8, offs[:n], nil, nil)
+		} else {
+			t.LoadGather(&buf, 8, offs[:n], nil, nil)
+		}
+	}
+	t.Drain()
+	return t.Cycle() - start
+}
+
 // PointerChase models a dependent random-access chain (each address
 // derived from the previous load), the worst case for MLP. Used by
 // ablation benchmarks to contrast with the independent-access pattern.

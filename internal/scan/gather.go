@@ -1,0 +1,121 @@
+package scan
+
+import (
+	"sgxbench/internal/core"
+	"sgxbench/internal/engine"
+	"sgxbench/internal/exec"
+	"sgxbench/internal/mem"
+	"sgxbench/internal/rng"
+)
+
+// The gather stage is the data-dependent second half of a filter→gather
+// query plan: a row-id scan (Options.RowIDs) produces the qualifying row
+// indexes, and Gather then fetches another column's values at exactly
+// those rows. Each fetch address comes from a just-loaded row id, so the
+// access pattern is the paper's random-access regime (Section 4.1, Fig 5)
+// at query granularity — the workload class the engine's LoadGather API
+// batches.
+
+// gatherBlock is the number of row ids gathered per engine batch: the
+// id reads are one sequential run, the value fetches one LoadGather, the
+// result writes one sequential scatter.
+const gatherBlock = 64
+
+// GatherOptions configures a gather run.
+type GatherOptions struct {
+	Threads int
+	// NodeOf pins thread i to a socket (nil: the env's node).
+	NodeOf func(i int) int
+	// Out, when non-nil, is the pre-allocated result buffer (n bytes).
+	Out *mem.U8Buf
+}
+
+// GatherResult reports a completed gather.
+type GatherResult struct {
+	WallCycles uint64
+	Bytes      int64 // ids read + values fetched + values written
+	Sum        uint64
+	Phases     []exec.PhaseStats
+	// Out holds the gathered values, out[i] = col[ids[i]].
+	Out *mem.U8Buf
+}
+
+// Gather fetches col[ids[i]] for i in [0, n) into an output column and
+// returns the value checksum. ids entries must be valid row indexes of
+// col (a row-id scan result, optionally shuffled).
+func Gather(env *core.Env, col *mem.U8Buf, ids *mem.U64Buf, n int, opt GatherOptions) *GatherResult {
+	T := opt.Threads
+	if T < 1 {
+		T = 1
+	}
+	out := opt.Out
+	if out == nil {
+		out = env.Space.AllocU8("scan.gathered", n, env.DataRegion())
+	}
+	g := env.NewGroup(T, opt.NodeOf)
+	sums := make([]uint64, T)
+	g.Phase("Gather", func(t *engine.Thread, id int) {
+		lo := id * (n / T)
+		hi := lo + n/T
+		if id == T-1 {
+			hi = n
+		}
+		var idToks, deps, valToks [gatherBlock]engine.Tok
+		var offs, outOffs [gatherBlock]int64
+		var local uint64
+		for pos := lo; pos < hi; {
+			blk := hi - pos
+			if blk > gatherBlock {
+				blk = gatherBlock
+			}
+			// Sequential id reads; every gather address derives from its
+			// id (one cycle of address arithmetic after the load).
+			t.LoadRunToks(&ids.Buffer, ids.Off(pos), 8, blk, 0, idToks[:blk])
+			for j := 0; j < blk; j++ {
+				row := ids.D[pos+j]
+				offs[j] = int64(row)
+				deps[j] = engine.After(idToks[j], 1)
+				outOffs[j] = int64(pos + j)
+				v := col.D[row]
+				out.D[pos+j] = v
+				local += uint64(v)
+			}
+			t.LoadGather(&col.Buffer, 1, offs[:blk], deps[:blk], valToks[:blk])
+			t.Work(uint64(blk)) // accumulate/pack the gathered lanes
+			// Sequential result writes at the output cursor, data from
+			// the gathered values.
+			t.StoreScatter(&out.Buffer, 1, outOffs[:blk], nil, valToks[:blk])
+			pos += blk
+		}
+		sums[id] = local
+	})
+	res := &GatherResult{Out: out}
+	for _, s := range sums {
+		res.Sum += s
+	}
+	res.Bytes = int64(n) * 10 // 8 id bytes + 1 fetched + 1 written
+	res.Phases = g.Phases()
+	res.WallCycles = g.Clock()
+	return res
+}
+
+// ShuffleIDs permutes ids[:n] deterministically (Fisher–Yates). Untimed
+// setup: it turns the ascending row-id scan output into the unclustered
+// id list of, e.g., a secondary-index lookup, which is what makes the
+// gather a true random-access workload.
+func ShuffleIDs(ids *mem.U64Buf, n int, seed uint64) {
+	r := rng.NewXorShift(rng.Mix(seed))
+	for i := n - 1; i > 0; i-- {
+		j := int(r.Uint64n(uint64(i + 1)))
+		ids.D[i], ids.D[j] = ids.D[j], ids.D[i]
+	}
+}
+
+// ReferenceGatherSum is the oracle: the checksum of col at ids[:n].
+func ReferenceGatherSum(col *mem.U8Buf, ids *mem.U64Buf, n int) uint64 {
+	var sum uint64
+	for i := 0; i < n; i++ {
+		sum += uint64(col.D[ids.D[i]])
+	}
+	return sum
+}

@@ -133,8 +133,12 @@ func bitVectorChunk(t *engine.Thread, col *mem.U8Buf, lo, hi int, out *mem.U64Bu
 // rowIDChunk scans col[lo:hi) and materializes the 64-bit row indexes of
 // matching values into out[outBase...], returning the match count. Each
 // match writes 8 bytes, so the write rate is 8x the selectivity — the
-// knob Fig 15 turns. Row-id stores are sequential through the output
-// cursor, so each block's writes are charged as one StoreRun.
+// knob Fig 15 turns. Row ids leave the vcompressq registers with masked
+// 64-byte non-temporal vector stores, so the engine charges the output
+// *lines* each block's compressed ids touch — streaming straight to DRAM
+// without polluting the caches — not a scalar cached store per id (a
+// block boundary inside a line re-touches it, exactly like the real
+// unaligned vector store).
 func rowIDChunk(t *engine.Thread, col *mem.U8Buf, lo, hi int, out *mem.U64Buf, outBase int, pred Predicate) uint64 {
 	loB, hiB := broadcast(pred.Lo), broadcast(pred.Hi)
 	pos := outBase
@@ -151,20 +155,28 @@ func rowIDChunk(t *engine.Thread, col *mem.U8Buf, lo, hi int, out *mem.U64Buf, o
 		for l := 0; l < blk; l++ {
 			lineOff := base + l*64
 			acc := lineMask(col.D, lineOff, loB, hiB)
-			for w := 0; w < 8; w++ {
-				b8 := uint8(acc >> (8 * w))
-				if b8 != 0 {
-					t.Work(1) // vcompressq of the matching lanes
-					wordOff := lineOff + 8*w
-					for b8 != 0 {
-						out.D[pos] = uint64(wordOff + bits.TrailingZeros8(b8))
-						pos++
-						b8 &= b8 - 1
-					}
-				}
+			if acc == 0 {
+				continue
+			}
+			// One vcompressq per 8-lane group with any match (SWAR count
+			// of nonzero mask bytes), then one emission loop over the set
+			// bits — same charged work as a per-word dispatch, without the
+			// per-word control flow.
+			nzw := acc | acc>>1 | acc>>2 | acc>>3 | acc>>4 | acc>>5 | acc>>6 | acc>>7
+			t.Work(uint64(bits.OnesCount64(nzw & broadcast(1))))
+			for m := acc; m != 0; m &= m - 1 {
+				out.D[pos] = uint64(lineOff + bits.TrailingZeros64(m))
+				pos++
 			}
 		}
-		t.StoreRun(&out.Buffer, out.Off(runStart), 8, pos-runStart, 0, 0)
+		if pos > runStart {
+			lineLo := out.Off(runStart) &^ 63
+			lineHi := (out.Off(pos) + 63) &^ 63
+			if lineHi > out.Size {
+				lineHi = out.Size
+			}
+			t.StoreLinesNT(&out.Buffer, lineLo, int((lineHi-lineLo)/64), 0, 0)
+		}
 		li += blk
 	}
 	// Scalar tail.
@@ -188,6 +200,13 @@ type Options struct {
 	Passes int
 	// NodeOf pins thread i to a socket (cross-NUMA scans, Fig 16).
 	NodeOf func(i int) int
+	// Bits / IDs, when non-nil, are used as the (pre-allocated) result
+	// buffers instead of allocating fresh ones — the paper assumes scan
+	// result memory is pre-allocated, and reuse keeps repeated benchmark
+	// runs from re-faulting fresh pages. IDs needs col.Len()+64 words,
+	// Bits col.Len()/64+2.
+	Bits *mem.U64Buf
+	IDs  *mem.U64Buf
 }
 
 func (o Options) threads() int {
@@ -216,10 +235,14 @@ func Run(env *core.Env, col *mem.U8Buf, opt Options) *Result {
 	if opt.RowIDs {
 		// Result memory is pre-allocated, as in the paper ("we assume
 		// that the memory for the scan result is pre-allocated").
-		ids = env.Space.AllocU64("scan.ids", n+64, env.DataRegion())
+		if ids = opt.IDs; ids == nil {
+			ids = env.Space.AllocU64("scan.ids", n+64, env.DataRegion())
+		}
 		res.IDs = ids
 	} else {
-		bits = env.Space.AllocU64("scan.bits", n/64+2, env.DataRegion())
+		if bits = opt.Bits; bits == nil {
+			bits = env.Space.AllocU64("scan.bits", n/64+2, env.DataRegion())
+		}
 		res.Bits = bits
 	}
 

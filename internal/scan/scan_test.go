@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"sgxbench/internal/core"
+	"sgxbench/internal/engine"
 	"sgxbench/internal/platform"
 )
 
@@ -49,6 +50,101 @@ func TestScanCorrectness(t *testing.T) {
 						setting, threads, rowIDs, res.Matches, want)
 				}
 			}
+		}
+	}
+}
+
+// TestGatherCorrectness checks the filter→gather plan end to end: the
+// row-id scan's ids drive a gather whose checksum and materialized
+// values must match the oracle, in every setting, shuffled or not.
+func TestGatherCorrectness(t *testing.T) {
+	for _, setting := range []core.Setting{core.PlainCPU, core.SGXDiE} {
+		for _, shuffle := range []bool{false, true} {
+			env := scanEnv(setting, 256)
+			col := env.Space.AllocU8("col", 1<<16+13, env.DataRegion())
+			GenColumn(col, 5)
+			sc := Run(env, col, Options{Threads: 4, Pred: Predicate{Lo: 10, Hi: 90}, RowIDs: true})
+			n := int(sc.Matches)
+			if shuffle {
+				ShuffleIDs(sc.IDs, n, 3)
+			}
+			want := ReferenceGatherSum(col, sc.IDs, n)
+			res := Gather(env, col, sc.IDs, n, GatherOptions{Threads: 4})
+			if res.Sum != want {
+				t.Errorf("%s shuffle=%v: sum=%d want %d", setting, shuffle, res.Sum, want)
+			}
+			for i := 0; i < n; i++ {
+				if res.Out.D[i] != col.D[sc.IDs.D[i]] {
+					t.Fatalf("%s: gathered value %d differs", setting, i)
+				}
+			}
+		}
+	}
+}
+
+// TestGoldenGatherEquivalence enforces the engine's fast-path invariant
+// on the gather stage: under every execution setting the batched fast
+// path must produce bit-identical output and simulated statistics to the
+// per-op reference path.
+func TestGoldenGatherEquivalence(t *testing.T) {
+	allSettings := []core.Setting{core.PlainCPU, core.PlainCPUM, core.SGXDoE, core.SGXDiE}
+	for _, setting := range allSettings {
+		run := func(ref bool) (*GatherResult, engine.Stats) {
+			env := core.NewEnv(core.Options{
+				Plat:      platform.XeonGold6326().Scaled(256),
+				Setting:   setting,
+				Reference: ref,
+			})
+			col := env.Space.AllocU8("col", 1<<20+777, env.DataRegion())
+			GenColumn(col, 42)
+			sc := Run(env, col, Options{Threads: 2, Pred: Predicate{Lo: 20, Hi: 200}, RowIDs: true})
+			n := int(sc.Matches)
+			ShuffleIDs(sc.IDs, n, 7)
+			res := Gather(env, col, sc.IDs, n, GatherOptions{Threads: 2})
+			var agg engine.Stats
+			for _, p := range res.Phases {
+				agg.Add(p.Agg)
+			}
+			return res, agg
+		}
+		refRes, refAgg := run(true)
+		fastRes, fastAgg := run(false)
+		if refRes.Sum != fastRes.Sum {
+			t.Errorf("%s: sum ref=%d fast=%d", setting, refRes.Sum, fastRes.Sum)
+		}
+		if refRes.WallCycles != fastRes.WallCycles {
+			t.Errorf("%s: wall cycles ref=%d fast=%d", setting, refRes.WallCycles, fastRes.WallCycles)
+		}
+		if refAgg != fastAgg {
+			t.Errorf("%s: stats differ\nref:  %+v\nfast: %+v", setting, refAgg, fastAgg)
+		}
+		for i := range refRes.Out.D {
+			if refRes.Out.D[i] != fastRes.Out.D[i] {
+				t.Fatalf("%s: gathered byte %d differs", setting, i)
+			}
+		}
+	}
+}
+
+// TestScanResultReuse checks that pre-allocated result buffers produce
+// the same matches as fresh ones (and are actually reused).
+func TestScanResultReuse(t *testing.T) {
+	env := scanEnv(core.PlainCPU, 256)
+	col := env.Space.AllocU8("col", 1<<16, env.DataRegion())
+	GenColumn(col, 5)
+	pred := Predicate{Lo: 10, Hi: 90}
+	ids := env.Space.AllocU64("ids.reuse", col.Len()+64, env.DataRegion())
+	a := Run(env, col, Options{Threads: 2, Pred: pred, RowIDs: true, IDs: ids})
+	if a.IDs != ids {
+		t.Fatalf("pre-allocated IDs buffer was not reused")
+	}
+	b := Run(env, col, Options{Threads: 2, Pred: pred, RowIDs: true})
+	if a.Matches != b.Matches {
+		t.Errorf("reused buffer changed matches: %d vs %d", a.Matches, b.Matches)
+	}
+	for i := 0; i < int(a.Matches); i++ {
+		if a.IDs.D[i] != b.IDs.D[i] {
+			t.Fatalf("row id %d differs between reused and fresh buffers", i)
 		}
 	}
 }
