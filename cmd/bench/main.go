@@ -1,10 +1,11 @@
 // Command bench measures the simulator's host-side performance: it runs a
-// fixed scan + join suite across the paper's four execution settings on
-// the batched fast path (the "sweep"), then compares the fast path
-// against the per-op reference engine on representative workloads (the
-// "speedup" section), asserting that both produce identical simulated
-// results. Results are written to a BENCH_engine.json trajectory file so
-// future performance PRs are comparable.
+// fixed scan + join + query-pipeline suite across the paper's four
+// execution settings on the batched fast path (the "sweep"), then
+// compares the fast path against the per-op reference engine on
+// representative workloads (the "speedup" section), asserting that both
+// produce identical simulated results. Results are written to a
+// BENCH_engine.json trajectory file so future performance PRs are
+// comparable.
 //
 // Methodology: every workload is prepared once (environment, input data,
 // pre-allocated result buffers — the paper pre-allocates result memory)
@@ -13,10 +14,20 @@
 // start cold on every repetition (each run builds fresh threads), so the
 // simulated results of a repetition are independent of the others.
 //
+// Golden gate: because the simulation is fully deterministic, CI can
+// gate on *exact* simulated numbers. The deterministic sweep entries of
+// a -quick run (everything except multi-threaded shared-table joins)
+// are compared against the committed BENCH_GOLDEN.json; any drift in
+// simulated cycles, checks or statistics fails the run. Refresh the
+// snapshot intentionally with -update-golden after a change that is
+// *supposed* to move simulated numbers.
+//
 // Usage:
 //
-//	go run ./cmd/bench           # full suite (a few minutes, single core)
-//	go run ./cmd/bench -quick    # small sizes, CI smoke run
+//	go run ./cmd/bench                        # full suite (minutes)
+//	go run ./cmd/bench -quick                 # small sizes, CI smoke run
+//	go run ./cmd/bench -quick -check-golden   # CI regression gate
+//	go run ./cmd/bench -quick -update-golden  # refresh BENCH_GOLDEN.json
 package main
 
 import (
@@ -34,25 +45,39 @@ import (
 	"sgxbench/internal/join"
 	"sgxbench/internal/kernels"
 	"sgxbench/internal/platform"
+	"sgxbench/internal/query"
 	"sgxbench/internal/rel"
 	"sgxbench/internal/scan"
 )
 
 var (
-	quick   = flag.Bool("quick", false, "small sizes and single repetitions (CI smoke run)")
-	out     = flag.String("out", "BENCH_engine.json", "output JSON trajectory file")
-	threads = flag.Int("threads", 4, "worker threads for the sweep workloads")
+	quick        = flag.Bool("quick", false, "small sizes and single repetitions (CI smoke run)")
+	out          = flag.String("out", "BENCH_engine.json", "output JSON trajectory file")
+	threads      = flag.Int("threads", 4, "worker threads for the sweep workloads")
+	goldenPath   = flag.String("golden", "BENCH_GOLDEN.json", "golden snapshot of deterministic -quick simulated numbers")
+	checkGolden  = flag.Bool("check-golden", false, "fail on any drift of deterministic simulated numbers vs the golden snapshot (-quick only)")
+	updateGolden = flag.Bool("update-golden", false, "rewrite the golden snapshot from this run (-quick only); use after intentional timing-model changes")
 )
+
+// rhoRatioScale is the largest platform scale-down factor at which the
+// RHO fast-vs-reference ratio assertion is meaningful: the scale-4
+// inputs (25 MB join 100 MB) keep the partition passes long enough that
+// per-run fixed costs (cold simulated caches, state setup) do not
+// dominate the ratio. At smaller data the ratio flakes; the target check
+// below skips itself rather than asserting noise.
+const rhoRatioScale = 4
 
 // wlResult is one (workload, setting, engine-mode) measurement.
 type wlResult struct {
-	Workload  string `json:"workload"`
-	Setting   string `json:"setting"`
-	Mode      string `json:"mode"`    // "fast" or "per-op"
-	HostNS    int64  `json:"host_ns"` // median over repetitions
-	Reps      int    `json:"reps"`
-	SimCycles uint64 `json:"sim_cycles"`
-	Check     uint64 `json:"check"` // matches / cycle checksum for equivalence
+	Workload  string       `json:"workload"`
+	Setting   string       `json:"setting"`
+	Mode      string       `json:"mode"`    // "fast" or "per-op"
+	HostNS    int64        `json:"host_ns"` // median over repetitions
+	Reps      int          `json:"reps"`
+	SimCycles uint64       `json:"sim_cycles"`
+	Check     uint64       `json:"check"` // matches / cycle checksum for equivalence
+	Det       bool         `json:"deterministic"`
+	Stats     engine.Stats `json:"stats"`
 }
 
 type report struct {
@@ -65,9 +90,28 @@ type report struct {
 	Speedup     []wlResult         `json:"speedup"`
 	Speedups    map[string]float64 `json:"speedups"`
 	Equivalent  bool               `json:"equivalence_ok"`
+	GoldenOK    bool               `json:"golden_ok"`
 	TargetsMet  bool               `json:"targets_met"`
 	TargetNotes []string           `json:"target_notes"`
 }
+
+// goldenEntry is one deterministic sweep measurement in the snapshot.
+type goldenEntry struct {
+	Workload  string       `json:"workload"`
+	Setting   string       `json:"setting"`
+	SimCycles uint64       `json:"sim_cycles"`
+	Check     uint64       `json:"check"`
+	Stats     engine.Stats `json:"stats"`
+}
+
+type goldenFile struct {
+	Schema  string        `json:"schema"`
+	Quick   bool          `json:"quick"`
+	Threads int           `json:"threads"`
+	Entries []goldenEntry `json:"entries"`
+}
+
+const goldenSchema = "sgxbench/bench_golden/v1"
 
 func settings() []core.Setting {
 	return []core.Setting{core.PlainCPU, core.PlainCPUM, core.SGXDoE, core.SGXDiE}
@@ -80,19 +124,21 @@ func median(ds []time.Duration) time.Duration {
 }
 
 // runner executes one timed repetition of a prepared workload and
-// returns (host time, simulated cycles, check value).
-type runner func() (time.Duration, uint64, uint64)
+// returns (host time, simulated cycles, check value, simulated stats).
+type runner func() (time.Duration, uint64, uint64, engine.Stats)
 
 // --- workload preparation; each returns a runner over reusable state ---
 
 func prepSeq(ref bool, setting core.Setting, bytes int64) runner {
 	env := core.NewEnv(core.Options{Plat: platform.XeonGold6326().Scaled(32), Setting: setting, Reference: ref})
 	buf := env.Space.Raw("seq", bytes, env.DataRegion())
-	return func() (time.Duration, uint64, uint64) {
+	return func() (time.Duration, uint64, uint64, engine.Stats) {
 		t := engine.NewThread(env.EngineConfig(), 0)
 		start := time.Now()
 		cyc := kernels.StreamRead(t, buf, 0, bytes)
-		return time.Since(start), cyc, cyc
+		st := t.Stats()
+		st.Cycles = cyc
+		return time.Since(start), cyc, cyc, st
 	}
 }
 
@@ -106,10 +152,10 @@ func prepScan(ref bool, setting core.Setting, bytes int, rowIDs bool, thr int) r
 	} else {
 		opt.Bits = env.Space.AllocU64("scan.bits", col.Len()/64+2, env.DataRegion())
 	}
-	return func() (time.Duration, uint64, uint64) {
+	return func() (time.Duration, uint64, uint64, engine.Stats) {
 		start := time.Now()
 		res := scan.Run(env, col, opt)
-		return time.Since(start), res.WallCycles, res.Matches
+		return time.Since(start), res.WallCycles, res.Matches, res.Stats
 	}
 }
 
@@ -129,10 +175,10 @@ func prepGather(ref bool, setting core.Setting, bytes, thr, maxIDs int) runner {
 		n = maxIDs
 	}
 	gopt := scan.GatherOptions{Threads: thr, Out: env.Space.AllocU8("scan.gathered", n, env.DataRegion())}
-	return func() (time.Duration, uint64, uint64) {
+	return func() (time.Duration, uint64, uint64, engine.Stats) {
 		start := time.Now()
 		res := scan.Gather(env, col, sc.IDs, n, gopt)
-		return time.Since(start), res.WallCycles, res.Sum
+		return time.Since(start), res.WallCycles, res.Sum, res.Stats
 	}
 }
 
@@ -141,11 +187,13 @@ func prepGather(ref bool, setting core.Setting, bytes, thr, maxIDs int) runner {
 func prepMicroGather(ref bool, setting core.Setting, arr int64, ops int) runner {
 	env := core.NewEnv(core.Options{Plat: platform.XeonGold6326().Scaled(32), Setting: setting, Reference: ref})
 	buf := env.Space.Raw("gather.arr", arr, env.DataRegion())
-	return func() (time.Duration, uint64, uint64) {
+	return func() (time.Duration, uint64, uint64, engine.Stats) {
 		t := engine.NewThread(env.EngineConfig(), 0)
 		start := time.Now()
 		cyc := kernels.GatherAccess(t, buf, ops, false, 5)
-		return time.Since(start), cyc, cyc
+		st := t.Stats()
+		st.Cycles = cyc
+		return time.Since(start), cyc, cyc, st
 	}
 }
 
@@ -157,29 +205,56 @@ func prepJoin(ref bool, setting core.Setting, alg join.Algorithm, scale int64, t
 	nR := rel.RowsForMB(100) / int(scale)
 	nS := rel.RowsForMB(400) / int(scale)
 	build, probe := rel.GenFKPair(env.Space, nR, nS, env.DataRegion(), 1234)
-	return func() (time.Duration, uint64, uint64) {
+	return func() (time.Duration, uint64, uint64, engine.Stats) {
 		start := time.Now()
 		res, err := alg.Run(env, build, probe, join.Options{Threads: thr, Optimized: true})
 		if err != nil {
 			panic(err)
 		}
-		return time.Since(start), res.WallCycles, res.Matches
+		return time.Since(start), res.WallCycles, res.Matches, res.Stats
+	}
+}
+
+// prepPipeline prepares one end-to-end query pipeline: the star-schema
+// dataset and all inter-stage scratch are allocated once; every
+// repetition re-runs the whole plan (scan → [join →] aggregation) on a
+// fresh thread group. maxRows caps the filtered rows fed downstream
+// (0: no cap; the scratch is then sized for the full fact table).
+func prepPipeline(ref bool, setting core.Setting, p query.Pipeline, nDim, nFact, maxRows, thr int) runner {
+	env := core.NewEnv(core.Options{Plat: platform.XeonGold6326().Scaled(32), Setting: setting, Reference: ref})
+	ds := query.GenDataset(env, nDim, nFact, 4242)
+	capRows := nFact
+	if maxRows > 0 && maxRows < capRows {
+		capRows = maxRows
+	}
+	opt := query.Options{
+		Threads: thr,
+		Pred:    scan.Predicate{Lo: 16, Hi: 127},
+		MaxRows: maxRows,
+		Scratch: query.NewScratch(env, ds, thr, capRows),
+	}
+	return func() (time.Duration, uint64, uint64, engine.Stats) {
+		start := time.Now()
+		res := p.Run(env, ds, opt)
+		return time.Since(start), res.WallCycles, res.Check, res.Stats
 	}
 }
 
 // measure runs r reps times and returns the median host time plus the
-// first repetition's simulated cycles and check value. The preceding
+// per-repetition simulated cycles, checks and stats (index 0 is the
+// value the sweep reports and the golden gate compares). The preceding
 // workload's buffers (hundreds of MB) are collected up front so a GC
 // cycle over the accumulated heap never lands inside a timed region.
-func measure(r runner, reps int) (time.Duration, uint64, uint64, []uint64, []uint64) {
+func measure(r runner, reps int) (time.Duration, []uint64, []uint64, []engine.Stats) {
 	runtime.GC()
 	hosts := make([]time.Duration, reps)
 	cycs := make([]uint64, reps)
 	chks := make([]uint64, reps)
+	stats := make([]engine.Stats, reps)
 	for k := 0; k < reps; k++ {
-		hosts[k], cycs[k], chks[k] = r()
+		hosts[k], cycs[k], chks[k], stats[k] = r()
 	}
-	return median(hosts), cycs[0], chks[0], cycs, chks
+	return median(hosts), cycs, chks, stats
 }
 
 func main() {
@@ -190,12 +265,13 @@ func main() {
 	// both engine modes run under the same setting).
 	debug.SetGCPercent(400)
 	rep := &report{
-		Schema:    "sgxbench/bench_engine/v2",
+		Schema:    "sgxbench/bench_engine/v3",
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
 		Quick:     *quick,
 		Speedups:  map[string]float64{},
+		GoldenOK:  true,
 	}
 
 	seqBytes := int64(256 << 20)
@@ -203,7 +279,11 @@ func main() {
 	gatherIDs := 4 << 20
 	gatherOps := 1 << 21
 	gatherArr := int64(256 << 20)
-	rhoScale := int64(4) // 25 MB join 100 MB: near-full-size working set
+	rhoScale := int64(rhoRatioScale) // 25 MB join 100 MB: near-full-size working set
+	qDim := 1 << 16
+	qFact := 2 << 20
+	qMaxRows := 1 << 20
+	q3Fact := 1 << 20 // q3 runs single-threaded (PHT determinism); keep it bounded
 	reps := 5
 	joinReps := 5
 	if *quick {
@@ -213,9 +293,16 @@ func main() {
 		gatherOps = 1 << 16
 		gatherArr = 16 << 20
 		rhoScale = 64
+		qDim = 1 << 10
+		qFact = 1 << 16
+		qMaxRows = 1 << 14
+		q3Fact = 1 << 15
 		reps = 1
 		joinReps = 1
 	}
+	q1, _ := query.ByName(query.Q1Name)
+	q2, _ := query.ByName(query.Q2Name)
+	q3, _ := query.ByName(query.Q3Name)
 
 	// --- Sweep: the fixed suite across all four settings, fast path ---
 	rep.Equivalent = true
@@ -225,29 +312,37 @@ func main() {
 			name string
 			prep func() runner
 			n    int
+			det  bool // simulated numbers are run-to-run deterministic
 		}
+		// Deterministic entries feed the golden gate. The only workload
+		// excluded is multi-threaded PHT: its shared latched table makes
+		// insertion order goroutine-dependent. q3 runs the PHT pipeline
+		// single-threaded for exactly that reason.
 		wls := []wl{
-			{"scan.bv", func() runner { return prepScan(false, s, scanBytes, false, *threads) }, reps},
-			{"scan.rowid", func() runner { return prepScan(false, s, scanBytes, true, *threads) }, reps},
-			{"scan.gather", func() runner { return prepGather(false, s, scanBytes, *threads, gatherIDs) }, reps},
-			{"micro.gather", func() runner { return prepMicroGather(false, s, gatherArr, gatherOps) }, reps},
-			{"join.RHO", func() runner { return prepJoin(false, s, join.NewRHO(), rhoScale*8, *threads) }, joinReps},
-			{"join.PHT", func() runner { return prepJoin(false, s, join.NewPHT(), rhoScale*8, *threads) }, joinReps},
+			{"scan.bv", func() runner { return prepScan(false, s, scanBytes, false, *threads) }, reps, true},
+			{"scan.rowid", func() runner { return prepScan(false, s, scanBytes, true, *threads) }, reps, true},
+			{"scan.gather", func() runner { return prepGather(false, s, scanBytes, *threads, gatherIDs) }, reps, true},
+			{"micro.gather", func() runner { return prepMicroGather(false, s, gatherArr, gatherOps) }, reps, true},
+			{"join.RHO", func() runner { return prepJoin(false, s, join.NewRHO(), rhoScale*8, *threads) }, joinReps, true},
+			{"join.PHT", func() runner { return prepJoin(false, s, join.NewPHT(), rhoScale*8, *threads) }, joinReps, *threads == 1},
+			{query.Q1Name, func() runner { return prepPipeline(false, s, q1, qDim, qFact, qMaxRows, *threads) }, joinReps, true},
+			{query.Q2Name, func() runner { return prepPipeline(false, s, q2, qDim, qFact, qMaxRows, *threads) }, joinReps, true},
+			{query.Q3Name, func() runner { return prepPipeline(false, s, q3, qDim, q3Fact, 0, 1) }, joinReps, true},
 		}
 		for _, w := range wls {
-			host, cyc, chk, _, chks := measure(w.prep(), w.n)
+			host, cycs, chks, stats := measure(w.prep(), w.n)
 			// Check values (matches / checksums) must be deterministic
-			// across repetitions; sim_cycles of multi-threaded joins are
-			// not (goroutine interleaving on shared tables) and are
+			// across repetitions; sim_cycles of workloads that allocate
+			// fresh simulated state per repetition are not and are
 			// reported from the first repetition.
 			for k, c := range chks {
-				if c != chk {
-					fmt.Printf("  CHECK DIVERGENCE: %s/%s rep %d check=%d vs %d\n", w.name, s, k, c, chk)
+				if c != chks[0] {
+					fmt.Printf("  CHECK DIVERGENCE: %s/%s rep %d check=%d vs %d\n", w.name, s, k, c, chks[0])
 					rep.Equivalent = false
 				}
 			}
-			rep.Sweep = append(rep.Sweep, wlResult{w.name, s.String(), "fast", host.Nanoseconds(), w.n, cyc, chk})
-			fmt.Printf("  %-12s %-11s host=%-12v simMcyc=%d\n", w.name, s, host.Round(time.Millisecond), cyc/1e6)
+			rep.Sweep = append(rep.Sweep, wlResult{w.name, s.String(), "fast", host.Nanoseconds(), w.n, cycs[0], chks[0], w.det, stats[0]})
+			fmt.Printf("  %-18s %-11s host=%-12v simMcyc=%d\n", w.name, s, host.Round(time.Millisecond), cycs[0]/1e6)
 		}
 	}
 
@@ -267,15 +362,18 @@ func main() {
 		{"micro.gather", func(ref bool) runner { return prepMicroGather(ref, die, gatherArr, gatherOps) }, reps},
 		{"join.RHO", func(ref bool) runner { return prepJoin(ref, die, join.NewRHO(), rhoScale, 1) }, joinReps},
 		{"join.PHT", func(ref bool) runner { return prepJoin(ref, die, join.NewPHT(), rhoScale*4, 1) }, joinReps},
+		{query.Q1Name, func(ref bool) runner { return prepPipeline(ref, die, q1, qDim, qFact, qMaxRows, 1) }, joinReps},
+		{query.Q2Name, func(ref bool) runner { return prepPipeline(ref, die, q2, qDim, qFact, qMaxRows, 1) }, joinReps},
+		{query.Q3Name, func(ref bool) runner { return prepPipeline(ref, die, q3, qDim, q3Fact, 0, 1) }, joinReps},
 	}
 	for _, w := range sps {
-		rHost, rCyc, rChk, rCycs, rChks := measure(w.prep(true), w.n)
-		fHost, fCyc, fChk, fCycs, fChks := measure(w.prep(false), w.n)
+		rHost, rCycs, rChks, rStats := measure(w.prep(true), w.n)
+		fHost, fCycs, fChks, fStats := measure(w.prep(false), w.n)
 		eq := true
 		for k := 0; k < w.n; k++ {
 			// Repetition k sees identical simulated state in both modes,
-			// so cycles and checks must match pairwise, bit for bit.
-			if rCycs[k] != fCycs[k] || rChks[k] != fChks[k] {
+			// so cycles, checks and stats must match pairwise, bit for bit.
+			if rCycs[k] != fCycs[k] || rChks[k] != fChks[k] || rStats[k] != fStats[k] {
 				eq = false
 			}
 		}
@@ -284,10 +382,10 @@ func main() {
 		}
 		ratio := float64(rHost) / float64(fHost)
 		rep.Speedup = append(rep.Speedup,
-			wlResult{w.name, die.String(), "per-op", rHost.Nanoseconds(), w.n, rCyc, rChk},
-			wlResult{w.name, die.String(), "fast", fHost.Nanoseconds(), w.n, fCyc, fChk})
+			wlResult{w.name, die.String(), "per-op", rHost.Nanoseconds(), w.n, rCycs[0], rChks[0], true, rStats[0]},
+			wlResult{w.name, die.String(), "fast", fHost.Nanoseconds(), w.n, fCycs[0], fChks[0], true, fStats[0]})
 		rep.Speedups[w.name] = ratio
-		fmt.Printf("  %-12s per-op=%-12v fast=%-12v speedup=%.2fx equivalent=%v\n",
+		fmt.Printf("  %-18s per-op=%-12v fast=%-12v speedup=%.2fx equivalent=%v\n",
 			w.name, rHost.Round(time.Millisecond), fHost.Round(time.Millisecond), ratio, eq)
 	}
 
@@ -314,11 +412,44 @@ func main() {
 		check("scan.rowid", 2.0)
 		check("scan.gather", 2.0)
 		check("micro.gather", 2.0)
-		check("join.RHO", 2.0)
+		if rhoScale <= rhoRatioScale {
+			check("join.RHO", 2.0)
+		} else {
+			note := fmt.Sprintf("join.RHO: ratio not asserted at scale %d (needs scale <= %d data; smaller inputs flake on fixed costs)", rhoScale, rhoRatioScale)
+			rep.TargetNotes = append(rep.TargetNotes, note)
+			fmt.Println("  " + note)
+		}
 		check("join.PHT", 2.0)
 	}
 	if !rep.Equivalent {
 		fmt.Println("  EQUIVALENCE FAILURE: fast path changed simulated results")
+	}
+
+	// --- Golden gate over the deterministic sweep entries ---
+	if *updateGolden || *checkGolden {
+		if !*quick {
+			fmt.Fprintln(os.Stderr, "bench: the golden snapshot covers -quick numbers only; add -quick")
+			os.Exit(2)
+		}
+		if *updateGolden {
+			if err := writeGolden(*goldenPath, rep, *threads); err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("== golden ==\n  wrote %s\n", *goldenPath)
+		} else {
+			drift := compareGolden(*goldenPath, rep, *threads)
+			fmt.Println("== golden ==")
+			if len(drift) == 0 {
+				fmt.Printf("  %s: no drift\n", *goldenPath)
+			} else {
+				rep.GoldenOK = false
+				for _, d := range drift {
+					fmt.Println("  DRIFT: " + d)
+				}
+				fmt.Println("  (intentional change? refresh with: go run ./cmd/bench -quick -update-golden)")
+			}
+		}
 	}
 
 	f, err := os.Create(*out)
@@ -334,7 +465,81 @@ func main() {
 	}
 	f.Close()
 	fmt.Printf("wrote %s\n", *out)
-	if !rep.Equivalent {
+	if !rep.Equivalent || !rep.GoldenOK {
 		os.Exit(1)
 	}
+}
+
+// goldenEntries extracts the deterministic sweep measurements.
+func goldenEntries(rep *report) []goldenEntry {
+	var es []goldenEntry
+	for _, w := range rep.Sweep {
+		if w.Det {
+			es = append(es, goldenEntry{Workload: w.Workload, Setting: w.Setting, SimCycles: w.SimCycles, Check: w.Check, Stats: w.Stats})
+		}
+	}
+	return es
+}
+
+func writeGolden(path string, rep *report, threads int) error {
+	g := goldenFile{Schema: goldenSchema, Quick: true, Threads: threads, Entries: goldenEntries(rep)}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}
+
+// compareGolden diffs this run's deterministic sweep entries against the
+// snapshot; it returns one message per drift (empty: gate passes).
+func compareGolden(path string, rep *report, threads int) []string {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("cannot read %s: %v (first run? create it with -update-golden)", path, err)}
+	}
+	var g goldenFile
+	if err := json.Unmarshal(raw, &g); err != nil {
+		return []string{fmt.Sprintf("cannot parse %s: %v", path, err)}
+	}
+	if g.Schema != goldenSchema {
+		return []string{fmt.Sprintf("%s has schema %q, want %q (refresh with -update-golden)", path, g.Schema, goldenSchema)}
+	}
+	if g.Threads != threads {
+		return []string{fmt.Sprintf("golden was recorded with -threads %d, this run used %d", g.Threads, threads)}
+	}
+	key := func(w, s string) string { return w + "|" + s }
+	got := map[string]goldenEntry{}
+	for _, e := range goldenEntries(rep) {
+		got[key(e.Workload, e.Setting)] = e
+	}
+	var drift []string
+	seen := map[string]bool{}
+	for _, want := range g.Entries {
+		k := key(want.Workload, want.Setting)
+		seen[k] = true
+		cur, ok := got[k]
+		if !ok {
+			drift = append(drift, fmt.Sprintf("%s/%s: in golden but missing from this run", want.Workload, want.Setting))
+			continue
+		}
+		if cur.SimCycles != want.SimCycles {
+			drift = append(drift, fmt.Sprintf("%s/%s: sim_cycles %d, golden %d", want.Workload, want.Setting, cur.SimCycles, want.SimCycles))
+		}
+		if cur.Check != want.Check {
+			drift = append(drift, fmt.Sprintf("%s/%s: check %#x, golden %#x", want.Workload, want.Setting, cur.Check, want.Check))
+		}
+		if cur.Stats != want.Stats {
+			drift = append(drift, fmt.Sprintf("%s/%s: stats differ\n    run:    %+v\n    golden: %+v", want.Workload, want.Setting, cur.Stats, want.Stats))
+		}
+	}
+	for k, e := range got {
+		if !seen[k] {
+			drift = append(drift, fmt.Sprintf("%s/%s: new deterministic workload not in golden (refresh with -update-golden)", e.Workload, e.Setting))
+		}
+	}
+	sort.Strings(drift)
+	return drift
 }

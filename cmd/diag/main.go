@@ -1,10 +1,11 @@
-// Command diag runs one join under one execution setting and prints the
-// simulated phase breakdown — a quick inspection tool for the timing
-// model.
+// Command diag runs one join — or one end-to-end query pipeline — under
+// one execution setting and prints the simulated phase breakdown — a
+// quick inspection tool for the timing model.
 //
 // Usage:
 //
 //	go run ./cmd/diag [-alg RHO] [-setting plain|plainm|doe|die] [-scale 128] [-threads 16] [-opt]
+//	go run ./cmd/diag -query q2.filter-join-agg -setting die [-threads 4]
 package main
 
 import (
@@ -13,17 +14,21 @@ import (
 	"os"
 
 	"sgxbench/internal/core"
+	"sgxbench/internal/exec"
 	"sgxbench/internal/join"
 	"sgxbench/internal/platform"
+	"sgxbench/internal/query"
 	"sgxbench/internal/rel"
+	"sgxbench/internal/scan"
 )
 
 var (
-	algName  = flag.String("alg", "RHO", "join algorithm: PHT, RHO, MWAY, INL or CrkJoin")
-	setName  = flag.String("setting", "plain", "execution setting: plain, plainm, doe or die")
-	scale    = flag.Int64("scale", 128, "platform scale-down factor (power of two)")
-	threads  = flag.Int("threads", 16, "worker threads")
-	optimize = flag.Bool("opt", false, "enable the unroll+reorder optimized kernels")
+	algName   = flag.String("alg", "RHO", "join algorithm: PHT, RHO, MWAY, INL or CrkJoin")
+	queryName = flag.String("query", "", "run a query pipeline instead of a join: q1.filter-agg, q2.filter-join-agg or q3.join-agg")
+	setName   = flag.String("setting", "plain", "execution setting: plain, plainm, doe or die")
+	scale     = flag.Int64("scale", 128, "platform scale-down factor (power of two)")
+	threads   = flag.Int("threads", 16, "worker threads")
+	optimize  = flag.Bool("opt", false, "enable the unroll+reorder optimized kernels")
 )
 
 func parseSetting(s string) (core.Setting, bool) {
@@ -53,12 +58,6 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	alg, err := join.ByName(*algName)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "diag: %v\n", err)
-		flag.Usage()
-		os.Exit(2)
-	}
 	if *scale <= 0 || *scale&(*scale-1) != 0 {
 		fmt.Fprintf(os.Stderr, "diag: -scale %d must be a positive power of two\n", *scale)
 		flag.Usage()
@@ -72,6 +71,33 @@ func main() {
 
 	plat := platform.XeonGold6326().Scaled(*scale)
 	env := core.NewEnv(core.Options{Plat: plat, Setting: setting})
+
+	if *queryName != "" {
+		p, err := query.ByName(*queryName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "diag: %v\n", err)
+			flag.Usage()
+			os.Exit(2)
+		}
+		nDim := 1 << 13
+		nFact := rel.RowsForMB(400) / int(*scale)
+		ds := query.GenDataset(env, nDim, nFact, 1234)
+		res := p.Run(env, ds, query.Options{Threads: *threads, Pred: scan.Predicate{Lo: 16, Hi: 127}})
+		fmt.Printf("%s %s: wall=%d rows=%d groups=%d check=%#x\n",
+			res.Pipeline, setting, res.WallCycles, res.Rows, res.Groups, res.Check)
+		for _, st := range res.Stages {
+			fmt.Printf("stage %-8s wall=%9d rows=%d\n", st.Name, st.WallCycles, st.Rows)
+		}
+		printPhases(res.Phases)
+		return
+	}
+
+	alg, err := join.ByName(*algName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "diag: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	nR := rel.RowsForMB(100) / int(*scale)
 	nS := rel.RowsForMB(400) / int(*scale)
 	build, probe := rel.GenFKPair(env.Space, nR, nS, env.DataRegion(), 1234)
@@ -82,7 +108,11 @@ func main() {
 	}
 	fmt.Printf("%s %s: wall=%d tput=%.1f M/s build=%d probe=%d\n",
 		alg.Name(), setting, res.WallCycles, res.Throughput(env, nR, nS)/1e6, res.BuildCycles, res.ProbeCycles)
-	for _, p := range res.Phases {
+	printPhases(res.Phases)
+}
+
+func printPhases(phases []exec.PhaseStats) {
+	for _, p := range phases {
 		fmt.Printf("%-10s wall=%9d busiest=%9d bw=%v host=%6.1fms loads=%9d stores=%9d l1=%9d l2=%8d l3=%7d dram=%7d walks=%6d ssb=%9d strF=%7d rndF=%7d\n",
 			p.Name, p.WallCycles, p.Busiest, p.BWBound, float64(p.HostNanos)/1e6,
 			p.Agg.Loads, p.Agg.Stores, p.Agg.L1Hits, p.Agg.L2Hits, p.Agg.L3Hits,

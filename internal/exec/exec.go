@@ -132,6 +132,32 @@ func (g *Group) Phase(name string, body func(t *engine.Thread, id int)) PhaseSta
 // Phases returns the recorded per-phase statistics in execution order.
 func (g *Group) Phases() []PhaseStats { return g.phases }
 
+// Mark is a checkpoint in a group's phase log. Pipeline stages take one
+// before running so that the stage's own phases, aggregate stats and
+// clock advance can be extracted afterwards, even though the group is
+// shared across operators (simulated caches and TLBs deliberately carry
+// over between stages).
+type Mark struct {
+	phase int
+	clock uint64
+}
+
+// Mark checkpoints the current phase count and group clock.
+func (g *Group) Mark() Mark { return Mark{phase: len(g.phases), clock: g.clock} }
+
+// Since returns the phases recorded after m, their aggregated stats
+// (Cycles set to the clock advance since m), and that clock advance.
+func (g *Group) Since(m Mark) ([]PhaseStats, engine.Stats, uint64) {
+	ps := g.phases[m.phase:]
+	var s engine.Stats
+	for _, p := range ps {
+		s.Add(p.Agg)
+	}
+	d := g.clock - m.clock
+	s.Cycles = d
+	return ps, s, d
+}
+
 // ResetPhases clears the recorded phase log and rebases the clock to 0.
 func (g *Group) ResetPhases() {
 	g.phases = nil

@@ -152,7 +152,7 @@ func (c *Crk) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Resu
 	g.Phase("Join", func(t *engine.Thread, id int) {
 		var out *outWriter
 		if opt.Materialize {
-			out = newOutWriter(env, id)
+			out = newOutWriter(env, id, opt.outBuf(id))
 			outs[id] = out
 		}
 		var local uint64

@@ -44,7 +44,7 @@ func (n *INL) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Resu
 		lo, hi := chunk(probe.N(), T, id)
 		var out *outWriter
 		if opt.Materialize {
-			out = newOutWriter(env, id)
+			out = newOutWriter(env, id, opt.outBuf(id))
 			outs[id] = out
 		}
 		var local uint64

@@ -26,6 +26,7 @@ import (
 	"sgxbench/internal/core"
 	"sgxbench/internal/engine"
 	"sgxbench/internal/exec"
+	"sgxbench/internal/mem"
 	"sgxbench/internal/rel"
 )
 
@@ -48,6 +49,21 @@ type Options struct {
 	// Larger values force smaller partitions — used to create queue
 	// contention for the Fig 11 experiment.
 	RadixBits int
+	// OutBufs, when Materialize is set, provides pre-allocated per-thread
+	// output buffers (index = thread id). Materialized rows then land at
+	// deterministic simulated addresses instead of dynamically claimed
+	// chunks, making multi-threaded materializing runs reproducible for
+	// exact stats comparison (pipelines, golden gates). A buffer that
+	// fills up falls back to chunk claims for the excess rows.
+	OutBufs []*mem.U64Buf
+}
+
+// outBuf returns thread id's pre-allocated output buffer, if any.
+func (o Options) outBuf(id int) *mem.U64Buf {
+	if id < len(o.OutBufs) {
+		return o.OutBufs[id]
+	}
+	return nil
 }
 
 func (o Options) threads() int {

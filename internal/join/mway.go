@@ -228,7 +228,7 @@ func (m *MWAY) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Res
 		}
 		var out *outWriter
 		if opt.Materialize {
-			out = newOutWriter(env, id)
+			out = newOutWriter(env, id, opt.outBuf(id))
 			outs[id] = out
 		}
 		ri := sort.Search(R.n, func(i int) bool { return mem.TupleKey(R.out.D[i]) >= loKey })

@@ -15,23 +15,40 @@ import (
 const outChunkRows = 1 << 16
 
 // outWriter materializes join output tuples for one worker thread.
+//
+// Two backing modes: by default output memory is claimed chunk-wise from
+// the shared allocator during the join (the Fig 12 allocation-cost
+// pattern); with a pre-allocated fixed buffer (Options.OutBufs) every
+// store lands at a deterministic simulated address, which is what makes
+// multi-threaded materializing pipelines reproducible enough for exact
+// golden-stats gating. A fixed buffer that fills up falls back to chunk
+// claims (correct, but no longer address-deterministic).
 type outWriter struct {
 	env    *core.Env
 	id     int
+	fixed  *mem.U64Buf // pre-allocated rows (nil: chunk mode only)
+	fpos   int
 	chunks []*mem.U64Buf
 	cur    *mem.U64Buf
 	pos    int
 	rows   []uint64
 }
 
-func newOutWriter(env *core.Env, id int) *outWriter {
-	return &outWriter{env: env, id: id}
+func newOutWriter(env *core.Env, id int, fixed *mem.U64Buf) *outWriter {
+	return &outWriter{env: env, id: id, fixed: fixed}
 }
 
 // append writes one output row; dep is the token the row's fields were
 // loaded at (the store's data dependency — the address is a sequential
-// cursor and thus statically known).
+// cursor and thus statically known). In fixed mode the pre-allocated
+// buffer's backing data IS the materialized output — no host-side copy
+// is kept; rows only collects chunk-mode (overflow) output.
 func (w *outWriter) append(t *engine.Thread, row uint64, dep engine.Tok) {
+	if w.fixed != nil && w.fpos < w.fixed.Len() {
+		engine.StoreU64(t, w.fixed, w.fpos, row, 0, dep)
+		w.fpos++
+		return
+	}
 	if w.cur == nil || w.pos == w.cur.Len() {
 		w.cur = w.env.Alloc.AllocU64(t, "out", outChunkRows)
 		w.chunks = append(w.chunks, w.cur)
@@ -42,5 +59,15 @@ func (w *outWriter) append(t *engine.Thread, row uint64, dep engine.Tok) {
 	w.pos++
 }
 
-// result returns all rows written by this worker.
-func (w *outWriter) result() []uint64 { return w.rows }
+// result returns all rows written by this worker, in append order. In
+// fixed mode without overflow this aliases the pre-allocated buffer's
+// backing data (callers treat it as read-only).
+func (w *outWriter) result() []uint64 {
+	if w.fixed == nil {
+		return w.rows
+	}
+	if len(w.rows) == 0 {
+		return w.fixed.D[:w.fpos]
+	}
+	return append(append(make([]uint64, 0, w.fpos+len(w.rows)), w.fixed.D[:w.fpos]...), w.rows...)
+}

@@ -5,6 +5,7 @@ import (
 
 	"sgxbench/internal/core"
 	"sgxbench/internal/engine"
+	"sgxbench/internal/exec"
 	"sgxbench/internal/mem"
 	"sgxbench/internal/rel"
 )
@@ -326,8 +327,16 @@ func (h *phtTable) probeBatch(t *engine.Thread, tups []uint64, keyToks []engine.
 
 // Run executes the join.
 func (p *PHT) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Result, error) {
-	T := opt.threads()
-	g := env.NewGroup(T, opt.NodeOf)
+	return p.RunOn(env, env.NewGroup(opt.threads(), opt.NodeOf), build, probe, opt)
+}
+
+// RunOn executes the join on an existing thread group (pipeline stage
+// composition; see RHO.RunOn). Result timing and stats cover only this
+// stage's phases. Note that the shared-table build is only run-to-run
+// deterministic single-threaded.
+func (p *PHT) RunOn(env *core.Env, g *exec.Group, build, probe *rel.Relation, opt Options) (*Result, error) {
+	T := len(g.Threads)
+	mark := g.Mark()
 	ht := newPHTTable(env, build.N(), T)
 	res := &Result{Algorithm: p.Name()}
 
@@ -374,7 +383,7 @@ func (p *PHT) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Resu
 		lo, hi := chunk(probe.N(), T, id)
 		var out *outWriter
 		if opt.Materialize {
-			out = newOutWriter(env, id)
+			out = newOutWriter(env, id, opt.outBuf(id))
 			outs[id] = out
 		}
 		var local uint64
@@ -419,8 +428,6 @@ func (p *PHT) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Resu
 			}
 		}
 	}
-	res.Phases = g.Phases()
-	res.WallCycles = g.Clock()
-	res.Stats = g.TotalStats()
+	res.Phases, res.Stats, res.WallCycles = g.Since(mark)
 	return res, nil
 }

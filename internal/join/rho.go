@@ -3,6 +3,7 @@ package join
 import (
 	"sgxbench/internal/core"
 	"sgxbench/internal/engine"
+	"sgxbench/internal/exec"
 	"sgxbench/internal/kernels"
 	"sgxbench/internal/mem"
 	"sgxbench/internal/rel"
@@ -81,7 +82,16 @@ func newRHOState(env *core.Env, in *rel.Relation, threads int, p1, p2 int) *rhoS
 
 // Run executes the join.
 func (r *RHO) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Result, error) {
-	T := opt.threads()
+	return r.RunOn(env, env.NewGroup(opt.threads(), opt.NodeOf), build, probe, opt)
+}
+
+// RunOn executes the join on an existing thread group (pipeline stage
+// composition: simulated cache/TLB state carries over from the previous
+// stage). Options.Threads and NodeOf are ignored; the group decides both.
+// Result timing and stats cover only this stage's phases.
+func (r *RHO) RunOn(env *core.Env, g *exec.Group, build, probe *rel.Relation, opt Options) (*Result, error) {
+	T := len(g.Threads)
+	mark := g.Mark()
 	b1, b2 := RadixBits(env, build.N())
 	if opt.RadixBits > 0 {
 		b := uint(opt.RadixBits)
@@ -92,7 +102,6 @@ func (r *RHO) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Resu
 		}
 	}
 	p1, p2 := 1<<b1, 1<<b2
-	g := env.NewGroup(T, opt.NodeOf)
 	R := newRHOState(env, build, T, p1, p2)
 	S := newRHOState(env, probe, T, p1, p2)
 	res := &Result{Algorithm: r.Name()}
@@ -227,7 +236,7 @@ func (r *RHO) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Resu
 	g.Phase("Join", func(t *engine.Thread, id int) {
 		var out *outWriter
 		if opt.Materialize {
-			out = newOutWriter(env, id)
+			out = newOutWriter(env, id, opt.outBuf(id))
 			outs[id] = out
 		}
 		var local uint64
@@ -264,8 +273,6 @@ func (r *RHO) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Resu
 			}
 		}
 	}
-	res.Phases = g.Phases()
-	res.WallCycles = g.Clock()
-	res.Stats = g.TotalStats()
+	res.Phases, res.Stats, res.WallCycles = g.Since(mark)
 	return res, nil
 }

@@ -151,6 +151,13 @@ func (b *U64Buf) Off(i int) int64 { return int64(i) * 8 }
 // Len returns the number of words.
 func (b *U64Buf) Len() int { return len(b.D) }
 
+// View returns a typed buffer aliasing the first n words of b: same
+// simulated addresses, same backing data. Pipelines use it to hand a
+// downstream operator the filled prefix of a pre-allocated intermediate.
+func (b *U64Buf) View(n int) *U64Buf {
+	return &U64Buf{Buffer: b.Buffer.Slice(0, int64(n)*8), D: b.D[:n]}
+}
+
 // U32Buf is a buffer of 32-bit words with real backing data.
 type U32Buf struct {
 	Buffer

@@ -36,6 +36,8 @@ type GatherResult struct {
 	Bytes      int64 // ids read + values fetched + values written
 	Sum        uint64
 	Phases     []exec.PhaseStats
+	// Stats aggregates engine counters over the gather phase.
+	Stats engine.Stats
 	// Out holds the gathered values, out[i] = col[ids[i]].
 	Out *mem.U8Buf
 }
@@ -48,11 +50,18 @@ func Gather(env *core.Env, col *mem.U8Buf, ids *mem.U64Buf, n int, opt GatherOpt
 	if T < 1 {
 		T = 1
 	}
+	return GatherOn(env, env.NewGroup(T, opt.NodeOf), col, ids, n, opt)
+}
+
+// GatherOn executes the gather on an existing thread group (pipeline
+// stage composition; see RunOn). Options.Threads and NodeOf are ignored.
+func GatherOn(env *core.Env, g *exec.Group, col *mem.U8Buf, ids *mem.U64Buf, n int, opt GatherOptions) *GatherResult {
+	T := len(g.Threads)
+	mark := g.Mark()
 	out := opt.Out
 	if out == nil {
 		out = env.Space.AllocU8("scan.gathered", n, env.DataRegion())
 	}
-	g := env.NewGroup(T, opt.NodeOf)
 	sums := make([]uint64, T)
 	g.Phase("Gather", func(t *engine.Thread, id int) {
 		lo := id * (n / T)
@@ -94,8 +103,82 @@ func Gather(env *core.Env, col *mem.U8Buf, ids *mem.U64Buf, n int, opt GatherOpt
 		res.Sum += s
 	}
 	res.Bytes = int64(n) * 10 // 8 id bytes + 1 fetched + 1 written
-	res.Phases = g.Phases()
-	res.WallCycles = g.Clock()
+	res.Phases, res.Stats, res.WallCycles = g.Since(mark)
+	return res
+}
+
+// TupleGatherResult reports a completed tuple gather.
+type TupleGatherResult struct {
+	WallCycles uint64
+	Rows       int    // tuples materialized (sum of the run counts)
+	Sum        uint64 // wrapping sum of the gathered 8-byte tuples
+	Phases     []exec.PhaseStats
+	// Stats aggregates engine counters over the gather phase.
+	Stats engine.Stats
+	// Out holds the gathered tuples, densely packed in run order.
+	Out *mem.U64Buf
+}
+
+// GatherU64On materializes the 8-byte tuples tups[ids[i]] into out —
+// the filter→gather stage of a query plan fetching the qualifying fact
+// rows for a downstream join or aggregation. The filter output arrives
+// as per-thread id runs (scan.Result.IDRuns): thread i gathers run i,
+// writing its tuples at the run's prefix-sum offset, so out is densely
+// packed in run order. The access structure mirrors Gather (sequential
+// id reads, one LoadGather of the data-dependent tuple fetches,
+// sequential result writes) at tuple granularity. out must hold at
+// least the summed run counts.
+func GatherU64On(env *core.Env, g *exec.Group, tups *mem.U64Buf, ids *mem.U64Buf, runs []IDRun, out *mem.U64Buf) *TupleGatherResult {
+	T := len(g.Threads)
+	mark := g.Mark()
+	outBase := make([]int, len(runs)+1)
+	for i, r := range runs {
+		outBase[i+1] = outBase[i] + r.Count
+	}
+	sums := make([]uint64, T)
+	g.Phase("GatherTup", func(t *engine.Thread, id int) {
+		var idToks, deps, valToks [gatherBlock]engine.Tok
+		var offs [gatherBlock]int64
+		var local uint64
+		// Thread i owns run i; with more runs than threads (a scan from a
+		// wider group) the surplus runs are claimed round-robin so every
+		// run is gathered.
+		for r := id; r < len(runs); r += T {
+			run := runs[r]
+			for done := 0; done < run.Count; {
+				blk := run.Count - done
+				if blk > gatherBlock {
+					blk = gatherBlock
+				}
+				pos := run.Start + done
+				outPos := outBase[r] + done
+				// Sequential id reads; every tuple address derives from
+				// its id (one cycle of address arithmetic after the load).
+				t.LoadRunToks(&ids.Buffer, ids.Off(pos), 8, blk, 0, idToks[:blk])
+				for j := 0; j < blk; j++ {
+					row := ids.D[pos+j]
+					offs[j] = tups.Off(int(row))
+					deps[j] = engine.After(idToks[j], 1)
+					v := tups.D[row]
+					out.D[outPos+j] = v
+					local += v
+				}
+				t.LoadGather(&tups.Buffer, 8, offs[:blk], deps[:blk], valToks[:blk])
+				t.Work(uint64(blk)) // pack the gathered lanes
+				// Sequential 8-byte result writes at the output cursor,
+				// data from the gathered tuples (last lane's token stands
+				// for the batch: the run API takes one data dependency).
+				t.StoreRun(&out.Buffer, out.Off(outPos), 8, blk, 0, valToks[blk-1])
+				done += blk
+			}
+		}
+		sums[id] = local
+	})
+	res := &TupleGatherResult{Out: out, Rows: outBase[len(runs)]}
+	for _, s := range sums {
+		res.Sum += s
+	}
+	res.Phases, res.Stats, res.WallCycles = g.Since(mark)
 	return res
 }
 

@@ -41,12 +41,24 @@ type Result struct {
 	Bytes      int64 // input bytes scanned (per pass x passes)
 	Matches    uint64
 	Phases     []exec.PhaseStats
+	// Stats aggregates engine counters over this scan's phases.
+	Stats engine.Stats
 	// Bits holds the packed result bit vector (bit i set = byte i
 	// matched) when Options.RowIDs is false.
 	Bits *mem.U64Buf
-	// IDs holds the materialized row indexes when Options.RowIDs is true;
-	// only the first Matches entries are meaningful.
+	// IDs holds the materialized row indexes when Options.RowIDs is true.
+	// Each worker thread writes its matches at its chunk base, so the ids
+	// form per-thread runs with gaps between them; IDRuns describes them.
 	IDs *mem.U64Buf
+	// IDRuns lists each thread's contiguous run of materialized row ids
+	// inside IDs (RowIDs mode): downstream pipeline stages consume the
+	// filter output per-thread, exactly as the threads produced it.
+	IDRuns []IDRun
+}
+
+// IDRun is one thread's contiguous run of materialized row ids.
+type IDRun struct {
+	Start, Count int
 }
 
 // Throughput returns the paper's scan metric: input bytes per second.
@@ -225,8 +237,17 @@ func (o Options) passes() int {
 
 // Run executes a multi-threaded scan of col under env.
 func Run(env *core.Env, col *mem.U8Buf, opt Options) *Result {
-	T := opt.threads()
-	g := env.NewGroup(T, opt.NodeOf)
+	return RunOn(env, env.NewGroup(opt.threads(), opt.NodeOf), col, opt)
+}
+
+// RunOn executes the scan on an existing thread group — the pipeline
+// form: a query plan shares one group across its stages so simulated
+// cache/TLB state carries over operator boundaries. Options.Threads and
+// NodeOf are ignored (the group decides both); Result timing and phases
+// cover only this stage.
+func RunOn(env *core.Env, g *exec.Group, col *mem.U8Buf, opt Options) *Result {
+	T := len(g.Threads)
+	mark := g.Mark()
 	n := col.Len()
 	res := &Result{}
 
@@ -260,9 +281,15 @@ func Run(env *core.Env, col *mem.U8Buf, opt Options) *Result {
 	for _, c := range counts {
 		res.Matches += c
 	}
+	if opt.RowIDs {
+		res.IDRuns = make([]IDRun, T)
+		for id := range counts {
+			lo, _ := chunkAligned(n, T, id)
+			res.IDRuns[id] = IDRun{Start: lo, Count: int(counts[id])}
+		}
+	}
 	res.Bytes = int64(n) * int64(opt.passes())
-	res.Phases = g.Phases()
-	res.WallCycles = g.Clock()
+	res.Phases, res.Stats, res.WallCycles = g.Since(mark)
 	return res
 }
 
