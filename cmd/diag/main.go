@@ -1,11 +1,13 @@
-// Command diag runs one join — or one end-to-end query pipeline — under
-// one execution setting and prints the simulated phase breakdown — a
-// quick inspection tool for the timing model.
+// Command diag runs one join, one end-to-end query pipeline, or one
+// multi-query serving scenario under one execution setting and prints
+// the simulated breakdown — a quick inspection tool for the timing
+// model.
 //
 // Usage:
 //
 //	go run ./cmd/diag [-alg RHO] [-setting plain|plainm|doe|die] [-scale 128] [-threads 16] [-opt]
 //	go run ./cmd/diag -query q2.filter-join-agg -setting die [-threads 4]
+//	go run ./cmd/diag -serve -setting die [-sync mutex] [-mem dyn] [-clients 32] [-workers 16]
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"sgxbench/internal/query"
 	"sgxbench/internal/rel"
 	"sgxbench/internal/scan"
+	"sgxbench/internal/serve"
 )
 
 var (
@@ -29,6 +32,15 @@ var (
 	scale     = flag.Int64("scale", 128, "platform scale-down factor (power of two)")
 	threads   = flag.Int("threads", 16, "worker threads")
 	optimize  = flag.Bool("opt", false, "enable the unroll+reorder optimized kernels")
+
+	// Serving-scenario mode (-serve): the multi-query simulator.
+	serveMode = flag.Bool("serve", false, "simulate a multi-query serving scenario instead of a single join/pipeline")
+	clients   = flag.Int("clients", 32, "serve: closed-loop clients")
+	workers   = flag.Int("workers", 16, "serve: enclave worker-pool size")
+	requests  = flag.Int("requests", 8, "serve: requests per client")
+	syncName  = flag.String("sync", "mutex", "serve: dispatch queue sync model: mutex, spin or lockfree")
+	memName   = flag.String("mem", "pre", "serve: memory mode: pre (pre-sized) or dyn (EDMM / minor faults)")
+	think     = flag.Uint64("think", 0, "serve: client think time between requests (cycles)")
 )
 
 func parseSetting(s string) (core.Setting, bool) {
@@ -70,6 +82,12 @@ func main() {
 	}
 
 	plat := platform.XeonGold6326().Scaled(*scale)
+
+	if *serveMode {
+		runServe(plat, setting)
+		return
+	}
+
 	env := core.NewEnv(core.Options{Plat: plat, Setting: setting})
 
 	if *queryName != "" {
@@ -109,6 +127,52 @@ func main() {
 	fmt.Printf("%s %s: wall=%d tput=%.1f M/s build=%d probe=%d\n",
 		alg.Name(), setting, res.WallCycles, res.Throughput(env, nR, nS)/1e6, res.BuildCycles, res.ProbeCycles)
 	printPhases(res.Phases)
+}
+
+// runServe calibrates the pipelines on the -scale'd platform and
+// replays one serving scenario, printing the per-phase
+// queue/transition/EDMM breakdown.
+func runServe(plat *platform.Platform, setting core.Setting) {
+	sync, err := serve.ParseSync(*syncName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "diag: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	mm, err := serve.ParseMem(*memName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "diag: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	w, err := serve.Calibrate(serve.CalibrateOptions{Plat: plat, Setting: setting})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "diag: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("calibrated classes (%s, scale %d):\n", setting, *scale)
+	for _, c := range w.Classes {
+		fmt.Printf("  %-20s service=%9d cycles  workingSet=%4d pages\n", c.Name, c.ServiceCycles, c.Pages)
+	}
+	res := w.Simulate(serve.Config{
+		Clients: *clients, Workers: *workers, RequestsPerClient: *requests,
+		Sync: sync, Mem: mm, ThinkCycles: *think, JitterPct: 10, Seed: 7,
+	})
+	fmt.Printf("\n%s %s queue=%q mem=%s: %d requests, makespan=%d cycles, %.0f q/s\n",
+		res.Setting, sync, res.Queue, mm, res.Requests, res.MakespanCycles, res.ThroughputQPS)
+	fmt.Printf("latency cycles: p50=%d p95=%d p99=%d max=%d\n", res.P50, res.P95, res.P99, res.Max)
+	b := res.Breakdown
+	fmt.Printf("breakdown (cycles summed over %d requests):\n", b.Requests)
+	fmt.Printf("  %-12s %14d  (%d one-way transitions)\n", "transition", b.TransitionCycles, b.Transitions)
+	fmt.Printf("  %-12s %14d\n", "lock path", b.LockCycles)
+	fmt.Printf("  %-12s %14d\n", "queue wait", b.QueueWaitCycles)
+	fmt.Printf("  %-12s %14d  (%d pages)\n", "page commit", b.CommitCycles, b.PagesCommitted)
+	fmt.Printf("  %-12s %14d\n", "commit wait", b.CommitWaitCycles)
+	fmt.Printf("  %-12s %14d\n", "service", b.ServiceCycles)
+	fmt.Println("per class:")
+	for _, c := range res.PerClass {
+		fmt.Printf("  %-20s n=%4d  meanLat=%d\n", c.Name, c.Requests, c.MeanCycles)
+	}
 }
 
 func printPhases(phases []exec.PhaseStats) {

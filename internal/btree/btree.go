@@ -156,7 +156,12 @@ func (t *Tree) Lookup(th *engine.Thread, key uint32, dep engine.Tok) (uint32, bo
 }
 
 // LookupAll appends all values stored under key to out (duplicates are
-// adjacent, possibly spanning into following leaves).
+// adjacent, possibly spanning several leaves).
+//
+// Unlike Lookup — which may land on any leaf holding the key — the
+// descent here takes the leftmost viable child (lower-bound on the
+// separators: a separator equal to key means the run can begin in the
+// child left of it), then walks right across leaves until the run ends.
 func (t *Tree) LookupAll(th *engine.Thread, key uint32, dep engine.Tok, out []uint32) ([]uint32, engine.Tok) {
 	child := 0
 	tok := dep
@@ -165,24 +170,25 @@ func (t *Tree) LookupAll(th *engine.Thread, key uint32, dep engine.Tok, out []ui
 		tok = th.Load(&t.innerArena, t.innerOff(lv, child), 64, tok)
 		tok = th.Load(&t.innerArena, t.innerOff(lv, child)+128, 64, engine.After(tok, 1))
 		th.Work(3)
-		idx := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > key })
+		idx := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
 		child = int(n.children[idx])
 	}
+	// The leftmost descent can land one leaf early when key equals a
+	// separator; the walk crosses leaf boundaries while the run may
+	// still continue (idx ran off the leaf's end).
 	for child < len(t.leaves) {
 		lf := &t.leaves[child]
 		tok = th.Load(&t.leafArena, int64(child)*nodeBytes, 64, tok)
 		tok = th.Load(&t.leafArena, int64(child)*nodeBytes+128, 64, engine.After(tok, 1))
 		th.Work(3)
 		idx := sort.Search(len(lf.keys), func(i int) bool { return lf.keys[i] >= key })
-		found := false
 		for ; idx < len(lf.keys) && lf.keys[idx] == key; idx++ {
 			out = append(out, lf.vals[idx])
-			found = true
 		}
-		if idx < len(lf.keys) || !found {
-			break // ran past key or key absent: done
+		if idx < len(lf.keys) {
+			break // ran past key: the run (if any) ended in this leaf
 		}
-		child++ // duplicates may continue in the next leaf
+		child++ // key may continue (or begin) in the next leaf
 	}
 	return out, engine.After(tok, 1)
 }

@@ -1,0 +1,57 @@
+package exec_test
+
+import (
+	"testing"
+
+	"sgxbench/internal/exec"
+	"sgxbench/internal/sgx"
+)
+
+// TestReplayQueueUncontended: one worker never contends, so the wall
+// time is exactly the pops plus the tasks.
+func TestReplayQueueUncontended(t *testing.T) {
+	c := sgx.DefaultOSCosts()
+	q := sgx.SGXMutexQueue(c)
+	tasks := []uint64{1000, 2000, 3000}
+	got := exec.ReplayQueue(tasks, 1, q)
+	want := 3*q.PopCycles + 6000
+	if got != want {
+		t.Errorf("ReplayQueue(1 worker) = %d, want %d", got, want)
+	}
+}
+
+// TestReplayQueueContention pins the Section 4.4 ordering: under many
+// workers popping tiny tasks, the SGX SDK mutex (transition-based sleep,
+// extended contended holds) must be far slower than a plain mutex, which
+// must be slower than the lock-free pop; and the spinlock must sit
+// between the SDK mutex and lock-free.
+func TestReplayQueueContention(t *testing.T) {
+	c := sgx.DefaultOSCosts()
+	tasks := make([]uint64, 256)
+	for i := range tasks {
+		tasks[i] = 500 // tiny tasks: the queue dominates
+	}
+	wall := func(q sgx.QueueModel) uint64 { return exec.ReplayQueue(tasks, 16, q) }
+	sdk := wall(sgx.SGXMutexQueue(c))
+	plain := wall(sgx.PlainMutexQueue(c))
+	spin := wall(sgx.SpinlockQueue(c))
+	free := wall(sgx.LockFreeQueue(c))
+	if !(free < spin && spin < plain && plain < sdk) {
+		t.Errorf("contention ordering violated: lockfree=%d spin=%d plain=%d sdk=%d",
+			free, spin, plain, sdk)
+	}
+	if ratio := float64(sdk) / float64(free); ratio < 10 {
+		t.Errorf("SDK mutex vs lock-free = %.1fx, want a >=10x collapse under 16 workers", ratio)
+	}
+}
+
+// TestReplayQueueDeterministic: replays are pure arithmetic.
+func TestReplayQueueDeterministic(t *testing.T) {
+	c := sgx.DefaultOSCosts()
+	tasks := []uint64{100, 900, 50, 4000, 700, 700, 700}
+	a := exec.ReplayQueue(tasks, 4, sgx.SGXMutexQueue(c))
+	b := exec.ReplayQueue(tasks, 4, sgx.SGXMutexQueue(c))
+	if a != b {
+		t.Errorf("nondeterministic replay: %d vs %d", a, b)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"sgxbench/internal/core"
+	"sgxbench/internal/engine"
 	"sgxbench/internal/platform"
 	"sgxbench/internal/rel"
 )
@@ -112,6 +113,33 @@ func TestJoinDeterminism(t *testing.T) {
 		a, b := run(), run()
 		if a != b {
 			t.Errorf("%s: nondeterministic wall cycles %d vs %d", alg.Name(), a, b)
+		}
+	}
+}
+
+// TestPHTMultiThreadDeterminism: the shared-table build preclaims its
+// slot indices in input order, so multi-threaded PHT runs must repeat
+// bit-identically — wall cycles AND full stats — in both the plain and
+// the optimized kernels. This is what admits q3 (and join.PHT) into the
+// multi-threaded golden gate.
+func TestPHTMultiThreadDeterminism(t *testing.T) {
+	for _, optimized := range []bool{false, true} {
+		run := func() (uint64, uint64, engine.Stats) {
+			env := testEnv(core.SGXDiE)
+			build, probe := rel.GenFKPair(env.Space, 2000, 8000, env.DataRegion(), 99)
+			res, err := NewPHT().Run(env, build, probe, Options{Threads: 4, Optimized: optimized})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.WallCycles, res.Matches, res.Stats
+		}
+		aw, am, as := run()
+		for rep := 0; rep < 3; rep++ {
+			bw, bm, bs := run()
+			if aw != bw || am != bm || as != bs {
+				t.Errorf("optimized=%v rep %d: diverged: wall %d vs %d, matches %d vs %d\nstats a: %+v\nstats b: %+v",
+					optimized, rep, aw, bw, am, bm, as, bs)
+			}
 		}
 	}
 }

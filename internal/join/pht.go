@@ -1,8 +1,6 @@
 package join
 
 import (
-	"sync"
-
 	"sgxbench/internal/core"
 	"sgxbench/internal/engine"
 	"sgxbench/internal/exec"
@@ -53,53 +51,67 @@ const hdrSlots = 6
 const bucketStride = inlineSlots + 1
 
 // phtTable is the shared hash table. Real values live in the flat
-// per-bucket array (guarded by striped locks during the build); timing
-// flows through the line-sized bucket buffer and the overflow arena.
+// per-bucket array; timing flows through the line-sized bucket buffer
+// and the overflow arena.
+//
+// The table's contents and every insert's slot index are precomputed in
+// input order by preclaim (a partitioned claim pass on the host), so
+// the timed build phase only issues simulated accesses — worker threads
+// never race on shared host state and the simulated numbers are
+// bit-identical at every thread count, which is what lets q3 run
+// multi-threaded under the golden gate.
 type phtTable struct {
 	bits     uint
-	buckets  mem.Buffer // nBuckets x bucketBytes (counts + inline slots)
-	overflow mem.Buffer // overflow entry arena (timing only)
-	locks    []sync.Mutex
+	buckets  mem.Buffer       // nBuckets x bucketBytes (counts + inline slots)
+	overflow mem.Buffer       // overflow entry arena (timing only)
 	flat     []uint64         // bucketStride words per bucket: count, slots
-	ovMu     sync.Mutex       // guards over (overflow is rare)
 	over     map[int][]uint64 // tuples beyond inlineSlots, per bucket
-	ovCount  []int            // overflow entries appended per thread (timing cursor)
+	slots    []int32          // per build-tuple inline slot index (input-order claim)
+	ovOrd    []int32          // per build-tuple overflow ordinal; -1 if inline
 }
 
-const lockStripes = 1024
-
-func newPHTTable(env *core.Env, nBuild, threads int) *phtTable {
+func newPHTTable(env *core.Env, nBuild int) *phtTable {
 	nBuckets := nextPow2((nBuild + 1) / 2)
 	ht := &phtTable{
 		bits:     log2(nBuckets),
 		buckets:  env.Alloc.Raw(nil, "pht.buckets", int64(nBuckets)*bucketBytes),
 		overflow: env.Alloc.Raw(nil, "pht.overflow", int64(nBuild+1)*16),
-		locks:    make([]sync.Mutex, lockStripes),
 		flat:     make([]uint64, nBuckets*bucketStride),
 		over:     make(map[int][]uint64),
-		ovCount:  make([]int, threads),
 	}
 	return ht
 }
 
 func (h *phtTable) bucketOf(key uint32) int { return int(hashIdx(key, h.bits)) }
 
-// place appends tup to bucket b's real contents and returns its previous
-// count (the slot index the simulated store targets).
-func (h *phtTable) place(b int, tup uint64) int {
-	h.locks[b&(lockStripes-1)].Lock()
-	fb := b * bucketStride
-	cnt := int(h.flat[fb])
-	if cnt < inlineSlots {
-		h.flat[fb+1+cnt] = tup
-	} else {
-		h.ovMu.Lock()
-		h.over[b] = append(h.over[b], tup)
-		h.ovMu.Unlock()
+// preclaim walks the build input in input order and claims each tuple's
+// slot: the bucket fill cursor gives the inline slot index, spills past
+// inlineSlots get a global overflow ordinal, and the real contents are
+// written here, once, on the host. With the claim order fixed by input
+// order instead of goroutine arrival, the simulated store addresses of
+// the build phase are identical whether one thread or many execute it —
+// and single-threaded they match the pre-claim-era numbers exactly.
+func (h *phtTable) preclaim(build *rel.Relation) {
+	n := build.N()
+	h.slots = make([]int32, n)
+	h.ovOrd = make([]int32, n)
+	ov := 0
+	for i := 0; i < n; i++ {
+		tup := build.Tup.D[i]
+		b := h.bucketOf(mem.TupleKey(tup))
+		fb := b * bucketStride
+		cnt := int(h.flat[fb])
+		h.slots[i] = int32(cnt)
+		if cnt < inlineSlots {
+			h.flat[fb+1+cnt] = tup
+			h.ovOrd[i] = -1
+		} else {
+			h.over[b] = append(h.over[b], tup)
+			h.ovOrd[i] = int32(ov)
+			ov++
+		}
+		h.flat[fb] = uint64(cnt + 1)
 	}
-	h.flat[fb] = uint64(cnt + 1)
-	h.locks[b&(lockStripes-1)].Unlock()
-	return cnt
 }
 
 // slotOff returns the simulated offset of inline slot cnt of the bucket
@@ -112,21 +124,21 @@ func slotOff(base int64, cnt int) int64 {
 	return base + 64 + int64(cnt-hdrSlots)*8
 }
 
-// overflowStores charges the arena append of one overflowing insert
-// (the bucket-side chain-pointer store is issued by the caller).
-func (h *phtTable) overflowStores(t *engine.Thread, id int, slotTok, keyTok engine.Tok) {
-	pos := h.ovCount[id]
-	h.ovCount[id] = pos + 1
-	off := int64(id)*16 + int64(pos*16*len(h.ovCount)) // per-thread interleaved arena
+// overflowStores charges the arena append of one overflowing insert at
+// its preclaimed global ordinal (the bucket-side chain-pointer store is
+// issued by the caller). preclaim guarantees ord < nBuild and the arena
+// holds nBuild+1 entries, so an out-of-range ordinal is a claim bug.
+func (h *phtTable) overflowStores(t *engine.Thread, ord int, slotTok, keyTok engine.Tok) {
+	off := int64(ord) * 16
 	if off+16 > h.overflow.Size {
-		off = h.overflow.Size - 16
+		panic("join: overflow ordinal past the preclaimed arena")
 	}
 	t.Store(&h.overflow, off, 8, slotTok, keyTok)
 }
 
-// insert adds one tuple: latch the bucket, read its count, store the
-// tuple at the count-derived slot, bump the count.
-func (h *phtTable) insert(t *engine.Thread, id int, tup uint64, keyTok engine.Tok) {
+// insert charges build tuple i: latch the bucket, read its count, store
+// the tuple at the (preclaimed) count-derived slot, bump the count.
+func (h *phtTable) insert(t *engine.Thread, i int, tup uint64, keyTok engine.Tok) {
 	b := h.bucketOf(mem.TupleKey(tup))
 	hTok := engine.After(keyTok, hashCost)
 	base := int64(b) * bucketBytes
@@ -135,7 +147,7 @@ func (h *phtTable) insert(t *engine.Thread, id int, tup uint64, keyTok engine.To
 	latchTok := t.CAS(&h.buckets, base, hTok)
 	// Count load: random access, address derived from the key's hash.
 	cntTok := t.Load(&h.buckets, base, 4, latchTok)
-	cnt := h.place(b, tup)
+	cnt := int(h.slots[i])
 	slotTok := engine.After(cntTok, 1)
 	if cnt < inlineSlots {
 		// Tuple store at bucket[count]: store address depends on the
@@ -144,7 +156,7 @@ func (h *phtTable) insert(t *engine.Thread, id int, tup uint64, keyTok engine.To
 		t.Store(&h.buckets, slotOff(base, cnt), 8, slotTok, keyTok)
 	} else {
 		// Overflow entry: append to the arena and link it.
-		h.overflowStores(t, id, slotTok, keyTok)
+		h.overflowStores(t, int(h.ovOrd[i]), slotTok, keyTok)
 		t.Store(&h.buckets, base+8+int64(inlineSlots)*8, 8, slotTok, 0) // chain pointer
 	}
 	// Count update + latch release share the bucket line.
@@ -199,12 +211,13 @@ func newPHTBatch(u int) *phtBatch {
 	}
 }
 
-// insertBatch is the unroll + reorder build kernel over the batched APIs:
-// the batch's latch CAS + count loads are one CASLoad (each element's
-// three micro-accesses share the bucket's header line), then the
-// count-addressed tuple stores and the count/latch-release stores are
-// dispatched as scatter groups.
-func (h *phtTable) insertBatch(t *engine.Thread, id int, tups []uint64, keyToks []engine.Tok, sc *phtBatch) {
+// insertBatch is the unroll + reorder build kernel over the batched
+// APIs, charging build tuples [i0, i0+len(tups)): the batch's latch CAS
+// + count loads are one CASLoad (each element's three micro-accesses
+// share the bucket's header line), then the count-addressed tuple
+// stores and the count/latch-release stores are dispatched as scatter
+// groups.
+func (h *phtTable) insertBatch(t *engine.Thread, i0 int, tups []uint64, keyToks []engine.Tok, sc *phtBatch) {
 	u := len(tups)
 	for j := 0; j < u; j++ {
 		b := h.bucketOf(mem.TupleKey(tups[j]))
@@ -214,8 +227,7 @@ func (h *phtTable) insertBatch(t *engine.Thread, id int, tups []uint64, keyToks 
 	t.CASLoad(&h.buckets, 4, sc.baseOffs[:u], sc.hToks[:u], sc.latchToks[:u], sc.cntToks[:u])
 	nS := 0
 	for j := 0; j < u; j++ {
-		b := int(sc.baseOffs[j] / bucketBytes)
-		cnt := h.place(b, tups[j])
+		cnt := int(h.slots[i0+j])
 		sc.slotToks[j] = engine.After(sc.cntToks[j], 1)
 		if cnt < inlineSlots {
 			sc.sOffs[nS] = slotOff(sc.baseOffs[j], cnt)
@@ -223,7 +235,7 @@ func (h *phtTable) insertBatch(t *engine.Thread, id int, tups []uint64, keyToks 
 			sc.sDDeps[nS] = keyToks[j]
 			nS++
 		} else {
-			h.overflowStores(t, id, sc.slotToks[j], keyToks[j])
+			h.overflowStores(t, int(h.ovOrd[i0+j]), sc.slotToks[j], keyToks[j])
 			sc.sOffs[nS] = sc.baseOffs[j] + 8 + int64(inlineSlots)*8 // chain pointer
 			sc.sADeps[nS] = sc.slotToks[j]
 			sc.sDDeps[nS] = 0
@@ -332,12 +344,14 @@ func (p *PHT) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Resu
 
 // RunOn executes the join on an existing thread group (pipeline stage
 // composition; see RHO.RunOn). Result timing and stats cover only this
-// stage's phases. Note that the shared-table build is only run-to-run
-// deterministic single-threaded.
+// stage's phases. The shared-table build claims its slots in input
+// order (preclaim), so results AND simulated numbers are run-to-run
+// deterministic at every thread count.
 func (p *PHT) RunOn(env *core.Env, g *exec.Group, build, probe *rel.Relation, opt Options) (*Result, error) {
 	T := len(g.Threads)
 	mark := g.Mark()
-	ht := newPHTTable(env, build.N(), T)
+	ht := newPHTTable(env, build.N())
+	ht.preclaim(build)
 	res := &Result{Algorithm: p.Name()}
 
 	unroll := 1
@@ -350,7 +364,7 @@ func (p *PHT) RunOn(env *core.Env, g *exec.Group, build, probe *rel.Relation, op
 		if unroll == 1 {
 			for i := lo; i < hi; i++ {
 				tup, tok := engine.LoadU64(t, build.Tup, i, 0)
-				ht.insert(t, id, tup, tok)
+				ht.insert(t, i, tup, tok)
 			}
 			return
 		}
@@ -368,11 +382,11 @@ func (p *PHT) RunOn(env *core.Env, g *exec.Group, build, probe *rel.Relation, op
 			for j := range toks {
 				toks[j] = engine.After(lineToks[j/8], 1) // lane extract
 			}
-			ht.insertBatch(t, id, build.Tup.D[i:i+unroll], toks, sc)
+			ht.insertBatch(t, i, build.Tup.D[i:i+unroll], toks, sc)
 		}
 		for ; i < hi; i++ {
 			tup, tok := engine.LoadU64(t, build.Tup, i, 0)
-			ht.insert(t, id, tup, tok)
+			ht.insert(t, i, tup, tok)
 		}
 	})
 	res.BuildCycles = bp.WallCycles

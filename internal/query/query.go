@@ -22,9 +22,9 @@
 // decompositions, so whole pipelines are bit-identical (results AND
 // simulated statistics) between the fast and reference engine paths;
 // with pre-allocated Scratch intermediates they are also run-to-run
-// deterministic, which is what the CI golden gate compares. q3's PHT
-// build shares one latched table across threads, so it is deterministic
-// only single-threaded; q1/q2 are deterministic at any thread count.
+// deterministic at any thread count, which is what the CI golden gate
+// compares (q3's shared PHT table preclaims its insert slots in input
+// order, so even the multi-threaded build repeats bit-identically).
 package query
 
 import (
@@ -118,6 +118,18 @@ func NewScratch(env *core.Env, ds *Dataset, threads, maxRows int) *Scratch {
 		sc.JoinOut[i] = env.Space.AllocU64(fmt.Sprintf("q.join.out.%d", i), maxRows, reg)
 	}
 	return sc
+}
+
+// Bytes returns the simulated footprint of all pre-allocated
+// intermediates — the request-private working set a serving layer must
+// provision per in-flight query (internal/serve commits these pages
+// under its dynamic memory modes).
+func (sc *Scratch) Bytes() int64 {
+	n := sc.IDs.Size + sc.FTup.Size + sc.AggOut.Size + sc.AggPart.Size
+	for _, b := range sc.JoinOut {
+		n += b.Size
+	}
+	return n
 }
 
 // StageStats reports one pipeline stage.

@@ -1,0 +1,65 @@
+package serve
+
+// Breakdown accounts where the served requests' cycles went, summed over
+// all requests of a scenario. Together with the latency percentiles it
+// is the serving-layer analogue of engine.Stats: cmd/diag -serve prints
+// it per scenario and the golden-gated check value folds every field.
+//
+// The completeness discipline mirrors engine.Stats: phase deltas are
+// taken with Sub, and TestBreakdownSubCoversAllFields fails if a newly
+// added counter is omitted from Add or Sub.
+type Breakdown struct {
+	// Requests is the number of completed requests.
+	Requests uint64 `json:"requests"`
+	// Transitions counts one-way enclave transitions (EENTER or EEXIT);
+	// zero outside enclaves.
+	Transitions uint64 `json:"transitions"`
+	// TransitionCycles is the cycles those transitions cost.
+	TransitionCycles uint64 `json:"transition_cycles"`
+	// QueueWaitCycles is the time requests sat in the dispatch queue
+	// between being enqueued and being handed to a worker.
+	QueueWaitCycles uint64 `json:"queue_wait_cycles"`
+	// LockCycles is the full dispatch-lock path cost (sleep latency,
+	// critical sections, contended hold extensions) over all pushes and
+	// pops.
+	LockCycles uint64 `json:"lock_cycles"`
+	// CommitWaitCycles is the time workers waited on the enclave-global
+	// EDMM page-commit serialization before their own commits started.
+	CommitWaitCycles uint64 `json:"commit_wait_cycles"`
+	// CommitCycles is the page-commit work itself (EDMM protocol inside
+	// enclaves, minor faults outside).
+	CommitCycles uint64 `json:"commit_cycles"`
+	// PagesCommitted is the number of 4 KiB pages committed at run time.
+	PagesCommitted uint64 `json:"pages_committed"`
+	// ServiceCycles is the pure query-execution time.
+	ServiceCycles uint64 `json:"service_cycles"`
+}
+
+// Add accumulates o into b, field-wise.
+func (b *Breakdown) Add(o Breakdown) {
+	b.Requests += o.Requests
+	b.Transitions += o.Transitions
+	b.TransitionCycles += o.TransitionCycles
+	b.QueueWaitCycles += o.QueueWaitCycles
+	b.LockCycles += o.LockCycles
+	b.CommitWaitCycles += o.CommitWaitCycles
+	b.CommitCycles += o.CommitCycles
+	b.PagesCommitted += o.PagesCommitted
+	b.ServiceCycles += o.ServiceCycles
+}
+
+// Sub returns the field-wise difference b - o, where o is an earlier
+// snapshot of the same accumulator. TestBreakdownSubCoversAllFields
+// fails if a newly added field is omitted here.
+func (b Breakdown) Sub(o Breakdown) Breakdown {
+	b.Requests -= o.Requests
+	b.Transitions -= o.Transitions
+	b.TransitionCycles -= o.TransitionCycles
+	b.QueueWaitCycles -= o.QueueWaitCycles
+	b.LockCycles -= o.LockCycles
+	b.CommitWaitCycles -= o.CommitWaitCycles
+	b.CommitCycles -= o.CommitCycles
+	b.PagesCommitted -= o.PagesCommitted
+	b.ServiceCycles -= o.ServiceCycles
+	return b
+}

@@ -1,0 +1,50 @@
+package serve_test
+
+import (
+	"reflect"
+	"testing"
+
+	"sgxbench/internal/serve"
+)
+
+// fillBreakdown assigns base*k to the k-th numeric field, failing on any
+// field kind it does not know how to fill — extending the engine.Stats
+// completeness discipline to the serving counters (queue waits,
+// transitions, EDMM commits): a new Breakdown field that is not also
+// added to Add and Sub fails this file's tests.
+func fillBreakdown(t *testing.T, b *serve.Breakdown, base uint64) {
+	t.Helper()
+	v := reflect.ValueOf(b).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		if f.Kind() != reflect.Uint64 {
+			t.Fatalf("Breakdown has a field of unsupported kind %v: teach fillBreakdown (and Add/Sub) about it", f.Kind())
+		}
+		f.SetUint(base * uint64(i+1))
+	}
+}
+
+// TestBreakdownSubCoversAllFields fails when a newly added Breakdown
+// counter is omitted from Sub.
+func TestBreakdownSubCoversAllFields(t *testing.T) {
+	var a, b, want serve.Breakdown
+	fillBreakdown(t, &a, 5)
+	fillBreakdown(t, &b, 2)
+	fillBreakdown(t, &want, 3)
+	if got := a.Sub(b); got != want {
+		t.Errorf("Breakdown.Sub misses a field:\ngot:  %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestBreakdownAddCoversAllFields fails when a newly added Breakdown
+// counter is omitted from Add: Add then Sub must round-trip.
+func TestBreakdownAddCoversAllFields(t *testing.T) {
+	var a, b serve.Breakdown
+	fillBreakdown(t, &a, 9)
+	fillBreakdown(t, &b, 4)
+	sum := a
+	sum.Add(b)
+	if got := sum.Sub(b); got != a {
+		t.Errorf("(a+b)-b != a:\ngot:  %+v\nwant: %+v", got, a)
+	}
+}

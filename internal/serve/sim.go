@@ -1,0 +1,462 @@
+package serve
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"sgxbench/internal/agg"
+	"sgxbench/internal/sgx"
+)
+
+// Config describes one serving scenario over a calibrated Workload.
+type Config struct {
+	// Clients is the number of closed-loop clients: each has one request
+	// in flight, thinks for ThinkCycles after a response, then issues
+	// the next (default 1).
+	Clients int
+	// Workers is the enclave worker-pool size (default 1).
+	Workers int
+	// RequestsPerClient is how many requests each client issues
+	// (default 1).
+	RequestsPerClient int
+	// Sync selects the dispatch queue's synchronization model.
+	Sync SyncKind
+	// Mem selects the memory-provisioning mode.
+	Mem MemMode
+	// Weights gives the request mix over the workload's classes; nil
+	// means uniform. Length must match the workload's class count.
+	Weights []int
+	// ThinkCycles is the client pause between a response and the next
+	// request; zero keeps every client saturating the pool.
+	ThinkCycles uint64
+	// JitterPct varies each request's service time deterministically by
+	// up to ±JitterPct percent (seeded; zero disables).
+	JitterPct int
+	// Seed drives the deterministic class picks and jitter.
+	Seed uint64
+}
+
+func (c Config) normalized() Config {
+	if c.Clients < 1 {
+		c.Clients = 1
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.RequestsPerClient < 1 {
+		c.RequestsPerClient = 1
+	}
+	return c
+}
+
+// Name returns the scenario's bench workload identifier.
+func (c Config) Name() string {
+	return fmt.Sprintf("serve.%s.%s", c.Sync, c.Mem)
+}
+
+// ClientSummary is one client's latency summary.
+type ClientSummary struct {
+	Requests   int    `json:"requests"`
+	MeanCycles uint64 `json:"mean_cycles"`
+	MaxCycles  uint64 `json:"max_cycles"`
+}
+
+// ClassSummary is one query class's latency summary.
+type ClassSummary struct {
+	Name       string `json:"name"`
+	Requests   int    `json:"requests"`
+	MeanCycles uint64 `json:"mean_cycles"`
+}
+
+// Result reports one simulated serving scenario.
+type Result struct {
+	Setting string `json:"setting"`
+	Queue   string `json:"queue"` // resolved sgx.QueueModel name
+	Config  Config `json:"config"`
+	// Requests is the number of requests served (Clients x
+	// RequestsPerClient).
+	Requests int `json:"requests"`
+	// MakespanCycles is the virtual time from the first issue to the
+	// last completion; the scenario's simulated wall clock.
+	MakespanCycles uint64 `json:"makespan_cycles"`
+	// ThroughputQPS is Requests over the makespan in platform seconds.
+	ThroughputQPS float64 `json:"throughput_qps"`
+	// Latency percentiles (nearest-rank) over all requests, in cycles.
+	P50 uint64 `json:"p50_cycles"`
+	P95 uint64 `json:"p95_cycles"`
+	P99 uint64 `json:"p99_cycles"`
+	Max uint64 `json:"max_cycles"`
+
+	Breakdown Breakdown       `json:"breakdown"`
+	PerClient []ClientSummary `json:"per_client"`
+	PerClass  []ClassSummary  `json:"per_class"`
+	// Check folds every latency (in completion order), the breakdown
+	// and the makespan into one FNV-1a value — the deterministic number
+	// golden gates compare.
+	Check uint64 `json:"check"`
+}
+
+// Event kinds. Issue submits a client's next request (ECALL + queue
+// push), enqueue makes the pushed request poppable, done completes a
+// worker's request and lets it pop the next.
+const (
+	evIssue = iota
+	evEnqueue
+	evDone
+)
+
+type event struct {
+	t    uint64
+	seq  uint64 // schedule order: deterministic tie-break at equal times
+	kind int
+	who  int // client (evIssue), request index (evEnqueue), worker (evDone)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type request struct {
+	client  int
+	class   int
+	issue   uint64 // client issue time
+	enq     uint64 // time it became poppable
+	service uint64
+}
+
+type worker struct {
+	req  request
+	done uint64
+	busy bool
+}
+
+// sim is the mutable state of one scenario replay.
+type sim struct {
+	w     *Workload
+	cfg   Config
+	q     sgx.QueueModel
+	trans uint64 // one-way transition cost (0 outside enclaves)
+
+	events eventHeap
+	seq    uint64
+
+	queue    []request // FIFO (head index to avoid O(n) shifts)
+	qHead    int
+	idle     []int // idle worker ids, FIFO
+	iHead    int
+	workers  []worker
+	pending  []request // requests between issue and enqueue
+	issued   []int     // per-client requests issued so far
+	lockFree uint64    // dispatch-lock state
+	edmmFree uint64    // enclave-global page-commit serialization
+
+	bd        Breakdown
+	lats      []uint64 // latency per request, completion order
+	makespan  uint64
+	perClient []ClientSummary
+	classReq  []int
+	classLat  []uint64
+}
+
+// splitmix64 is the standard SplitMix64 mixer — the deterministic,
+// dependency-free randomness source for class picks and jitter.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (s *sim) schedule(t uint64, kind, who int) {
+	s.seq++
+	heap.Push(&s.events, event{t: t, seq: s.seq, kind: kind, who: who})
+}
+
+// lockPass runs one critical section of the dispatch lock starting at t
+// and returns its completion time. The contention semantics mirror
+// exec.ReplayQueue: a thread that finds the lock taken waits out the
+// current hold plus the model's sleep latency, and a contended handover
+// extends the hold by the model's extension (the SGX SDK mutex keeps
+// the mutex locked across the owner's wake-up transitions).
+func (s *sim) lockPass(t uint64) uint64 {
+	acquire := t
+	hold := s.q.PopCycles
+	if t < s.lockFree {
+		acquire = s.lockFree + s.q.SleepLatency
+		hold += s.q.HoldExtension
+	}
+	s.lockFree = acquire + hold
+	s.bd.LockCycles += acquire + hold - t
+	return acquire + hold
+}
+
+// issue submits client c's next request at time t: the class pick, the
+// client's ECALL, the push through the dispatch lock, the EEXIT.
+func (s *sim) issue(c int, t uint64) {
+	k := s.issued[c]
+	r := splitmix64(s.cfg.Seed ^ uint64(c)<<32 ^ uint64(k))
+	class := s.pickClass(r)
+	base := s.w.Classes[class].ServiceCycles
+	service := base
+	if j := s.cfg.JitterPct; j > 0 {
+		// base scaled into [100-j, 100+j] percent, deterministically.
+		service = base * (100 - uint64(j) + splitmix64(r)%uint64(2*j+1)) / 100
+	}
+	if s.trans > 0 {
+		s.bd.Transitions += 2 // submit ECALL + EEXIT
+		s.bd.TransitionCycles += 2 * s.trans
+	}
+	pushDone := s.lockPass(t + s.trans)
+	s.pending = append(s.pending, request{client: c, class: class, issue: t, service: service})
+	s.schedule(pushDone, evEnqueue, len(s.pending)-1)
+}
+
+func (s *sim) pickClass(r uint64) int {
+	ws := s.cfg.Weights
+	if ws == nil {
+		return int(r % uint64(len(s.w.Classes)))
+	}
+	total := 0
+	for _, w := range ws {
+		total += w
+	}
+	pick := int(r % uint64(total))
+	for i, w := range ws {
+		pick -= w
+		if pick < 0 {
+			return i
+		}
+	}
+	return len(ws) - 1
+}
+
+// dispatch has worker w pop the queue head at time t and computes the
+// request's full execution timeline.
+func (s *sim) dispatch(w int, t uint64) {
+	popDone := s.lockPass(t)
+	r := s.queue[s.qHead]
+	s.qHead++
+	s.bd.QueueWaitCycles += popDone - r.enq
+
+	start := popDone + s.trans // worker ECALL
+	if s.trans > 0 {
+		s.bd.Transitions += 2 // worker ECALL now, EEXIT at completion
+		s.bd.TransitionCycles += 2 * s.trans
+	}
+	if s.cfg.Mem == MemDynamic {
+		pages := uint64(s.w.Classes[r.class].Pages)
+		s.bd.PagesCommitted += pages
+		if s.w.InEnclave {
+			// EDMM: the worker runs the AEX/EACCEPT protocol for its own
+			// pages, and the kernel serializes commits enclave-wide.
+			commitStart := start
+			if s.edmmFree > commitStart {
+				commitStart = s.edmmFree
+			}
+			s.bd.CommitWaitCycles += commitStart - start
+			cost := pages * s.w.OS.EDMMPage
+			s.bd.CommitCycles += cost
+			start = commitStart + cost
+			s.edmmFree = start
+		} else {
+			// Plain minor faults: per-worker cost, no serialization.
+			cost := pages * s.w.OS.MinorFault
+			s.bd.CommitCycles += cost
+			start += cost
+		}
+	}
+	done := start + r.service + s.trans // service, then worker EEXIT
+	s.bd.ServiceCycles += r.service
+	s.workers[w] = worker{req: r, done: done, busy: true}
+	s.schedule(done, evDone, w)
+}
+
+// complete finishes worker w's request at time t and closes the client
+// loop (think, then next issue).
+func (s *sim) complete(w int, t uint64) {
+	r := s.workers[w].req
+	s.workers[w].busy = false
+	lat := t - r.issue
+	s.lats = append(s.lats, lat)
+	s.bd.Requests++
+	if t > s.makespan {
+		s.makespan = t
+	}
+	cs := &s.perClient[r.client]
+	cs.Requests++
+	cs.MeanCycles += lat // sum here; divided at the end
+	if lat > cs.MaxCycles {
+		cs.MaxCycles = lat
+	}
+	s.classReq[r.class]++
+	s.classLat[r.class] += lat
+	if s.issued[r.client] < s.cfg.RequestsPerClient {
+		s.issued[r.client]++
+		s.schedule(t+s.cfg.ThinkCycles, evIssue, r.client)
+	}
+	// The freed worker pops the next request, if any.
+	if s.qHead < len(s.queue) {
+		s.dispatch(w, t)
+	} else {
+		s.idle = append(s.idle, w)
+	}
+}
+
+// Simulate replays one serving scenario over the calibrated workload.
+// Pure integer event-driven arithmetic on the virtual clock: the result
+// is bit-reproducible across runs and engine paths.
+func (w *Workload) Simulate(cfg Config) *Result {
+	cfg = cfg.normalized()
+	if len(w.Classes) == 0 {
+		panic("serve: Simulate over a workload with no classes")
+	}
+	if cfg.Weights != nil {
+		if len(cfg.Weights) != len(w.Classes) {
+			panic(fmt.Sprintf("serve: %d weights for %d classes", len(cfg.Weights), len(w.Classes)))
+		}
+		total := 0
+		for _, wt := range cfg.Weights {
+			if wt < 0 {
+				panic(fmt.Sprintf("serve: negative class weight %d", wt))
+			}
+			total += wt
+		}
+		if total == 0 {
+			panic("serve: class weights sum to zero")
+		}
+	}
+	s := &sim{
+		w:         w,
+		cfg:       cfg,
+		q:         w.queueModel(cfg.Sync),
+		workers:   make([]worker, cfg.Workers),
+		issued:    make([]int, cfg.Clients),
+		perClient: make([]ClientSummary, cfg.Clients),
+		classReq:  make([]int, len(w.Classes)),
+		classLat:  make([]uint64, len(w.Classes)),
+	}
+	if w.InEnclave {
+		s.trans = w.OS.Transition
+	}
+	for wi := 0; wi < cfg.Workers; wi++ {
+		s.idle = append(s.idle, wi)
+	}
+	for c := 0; c < cfg.Clients; c++ {
+		s.issued[c] = 1
+		s.schedule(0, evIssue, c)
+	}
+	// (heap.Push from an empty heap maintains the invariant throughout;
+	// no Init needed.)
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(event)
+		switch ev.kind {
+		case evIssue:
+			s.issue(ev.who, ev.t)
+		case evEnqueue:
+			r := s.pending[ev.who]
+			r.enq = ev.t
+			s.queue = append(s.queue, r)
+			if s.iHead < len(s.idle) {
+				wi := s.idle[s.iHead]
+				s.iHead++
+				if s.iHead == len(s.idle) { // compact the drained FIFO
+					s.idle = s.idle[:0]
+					s.iHead = 0
+				}
+				s.dispatch(wi, ev.t)
+			}
+		case evDone:
+			s.complete(ev.who, ev.t)
+		}
+	}
+	return s.result()
+}
+
+// pctl returns the nearest-rank p-th percentile of the sorted latencies.
+func pctl(sorted []uint64, p int) uint64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	return sorted[idx-1]
+}
+
+func (s *sim) result() *Result {
+	res := &Result{
+		Setting:        s.w.Setting.String(),
+		Queue:          s.q.Name,
+		Config:         s.cfg,
+		Requests:       len(s.lats),
+		MakespanCycles: s.makespan,
+		Breakdown:      s.bd,
+		PerClient:      s.perClient,
+	}
+	if s.makespan > 0 {
+		res.ThroughputQPS = float64(res.Requests) / s.w.Plat.CyclesToSeconds(s.makespan)
+	}
+	sorted := append([]uint64(nil), s.lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	res.P50 = pctl(sorted, 50)
+	res.P95 = pctl(sorted, 95)
+	res.P99 = pctl(sorted, 99)
+	if n := len(sorted); n > 0 {
+		res.Max = sorted[n-1]
+	}
+	for i := range res.PerClient {
+		if r := res.PerClient[i].Requests; r > 0 {
+			res.PerClient[i].MeanCycles /= uint64(r)
+		}
+	}
+	for i, cc := range s.w.Classes {
+		cs := ClassSummary{Name: cc.Name, Requests: s.classReq[i]}
+		if cs.Requests > 0 {
+			cs.MeanCycles = s.classLat[i] / uint64(cs.Requests)
+		}
+		res.PerClass = append(res.PerClass, cs)
+	}
+	res.Check = s.check(res)
+	return res
+}
+
+// check folds the scenario's observable behaviour into one FNV-1a value:
+// every latency in completion order, the breakdown, the makespan and the
+// class mix. Shares the hash discipline of the pipeline check values.
+func (s *sim) check(res *Result) uint64 {
+	h := agg.FNVOffset64
+	h = agg.Mix(h, uint64(res.Requests))
+	h = agg.Mix(h, res.MakespanCycles)
+	for _, l := range s.lats {
+		h = agg.Mix(h, l)
+	}
+	b := res.Breakdown
+	for _, v := range []uint64{
+		b.Requests, b.Transitions, b.TransitionCycles, b.QueueWaitCycles,
+		b.LockCycles, b.CommitWaitCycles, b.CommitCycles, b.PagesCommitted,
+		b.ServiceCycles,
+	} {
+		h = agg.Mix(h, v)
+	}
+	for i := range s.classReq {
+		h = agg.Mix(h, uint64(s.classReq[i]))
+	}
+	return h
+}

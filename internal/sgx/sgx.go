@@ -215,6 +215,15 @@ func PlainMutexQueue(c OSCosts) QueueModel {
 	return QueueModel{Name: "mutex (plain)", PopCycles: c.MutexCS, SleepLatency: c.FutexWake}
 }
 
+// SpinlockQueue models a test-and-set spinlock: waiters burn cycles in
+// place, so a contended handover costs only the critical section and the
+// lock line's cache transfer — no futex, and crucially no enclave
+// transitions, which is why spinning is the viable in-enclave
+// alternative to the SDK mutex under contention (Section 4.4).
+func SpinlockQueue(c OSCosts) QueueModel {
+	return QueueModel{Name: "spinlock", PopCycles: c.MutexCS}
+}
+
 // SGXMutexQueue models the SGX SDK mutex: sleeping and waking require
 // enclave transitions during which the mutex remains locked.
 func SGXMutexQueue(c OSCosts) QueueModel {
