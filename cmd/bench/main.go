@@ -97,6 +97,20 @@ const (
 	serveEDMMCollapseMin = 20.0
 )
 
+// The Fig 3 hash-vs-sort contrast as a hard gate: the sort-merge query
+// path (q5 — sequential run passes, streaming merges, cursor stores the
+// SSB mitigation cannot serialize) must show a strictly smaller
+// simulated enclave slowdown (SGX DiE cycles / Plain CPU cycles) than
+// the radix-hash query path (q2 — data-dependent scatters and probes).
+// Both slowdowns are ratios of deterministic simulated numbers from the
+// sweep, so the gate is asserted in quick mode too and any regression
+// of the timing model that inverts the paper's headline contrast fails
+// the run.
+const (
+	hashGateWorkload = query.Q2Name
+	sortGateWorkload = query.Q5Name
+)
+
 // serveConfigs is the scenario matrix: every synchronization model
 // crossed with both memory-provisioning modes, at a fixed saturating
 // client/worker shape. Identical in quick and full runs, so the golden
@@ -142,6 +156,7 @@ type report struct {
 	Equivalent  bool               `json:"equivalence_ok"`
 	GoldenOK    bool               `json:"golden_ok"`
 	ServeOK     bool               `json:"serve_collapse_ok"`
+	HashSortOK  bool               `json:"hash_vs_sort_ok"`
 	TargetsMet  bool               `json:"targets_met"`
 	TargetNotes []string           `json:"target_notes"`
 }
@@ -354,6 +369,8 @@ func main() {
 	q1, _ := query.ByName(query.Q1Name)
 	q2, _ := query.ByName(query.Q2Name)
 	q3, _ := query.ByName(query.Q3Name)
+	q4, _ := query.ByName(query.Q4Name)
+	q5, _ := query.ByName(query.Q5Name)
 
 	// --- Sweep: the fixed suite across all four settings, fast path ---
 	rep.Equivalent = true
@@ -376,9 +393,13 @@ func main() {
 			{"micro.gather", func() runner { return prepMicroGather(false, s, gatherArr, gatherOps) }, reps, true},
 			{"join.RHO", func() runner { return prepJoin(false, s, join.NewRHO(), rhoScale*8, *threads) }, joinReps, true},
 			{"join.PHT", func() runner { return prepJoin(false, s, join.NewPHT(), rhoScale*8, *threads) }, joinReps, true},
+			{"join.MWAY", func() runner { return prepJoin(false, s, join.NewMWAY(), rhoScale*8, *threads) }, joinReps, true},
+			{"join.CrkJoin", func() runner { return prepJoin(false, s, join.NewCrk(), rhoScale*8, *threads) }, joinReps, true},
 			{query.Q1Name, func() runner { return prepPipeline(false, s, q1, qDim, qFact, qMaxRows, *threads) }, joinReps, true},
 			{query.Q2Name, func() runner { return prepPipeline(false, s, q2, qDim, qFact, qMaxRows, *threads) }, joinReps, true},
 			{query.Q3Name, func() runner { return prepPipeline(false, s, q3, qDim, q3Fact, 0, *threads) }, joinReps, true},
+			{query.Q4Name, func() runner { return prepPipeline(false, s, q4, qDim, qFact, qMaxRows, *threads) }, joinReps, true},
+			{query.Q5Name, func() runner { return prepPipeline(false, s, q5, qDim, q3Fact, 0, *threads) }, joinReps, true},
 		}
 		for _, w := range wls {
 			host, cycs, chks, stats := measure(w.prep(), w.n)
@@ -397,8 +418,42 @@ func main() {
 		}
 	}
 
+	// --- The Fig 3 hash-vs-sort contrast gate over the sweep numbers ---
+	// Simulated enclave slowdown (DiE / plain cycles) of the sort-merge
+	// query must be strictly below the radix-hash query's. Deterministic,
+	// hence a hard gate at every size.
+	rep.HashSortOK = true
+	{
+		sim := func(wl string, s core.Setting) (uint64, bool) {
+			for _, w := range rep.Sweep {
+				if w.Workload == wl && w.Setting == s.String() {
+					return w.SimCycles, true
+				}
+			}
+			return 0, false
+		}
+		slowdown := func(wl string) float64 {
+			die, okD := sim(wl, core.SGXDiE)
+			plain, okP := sim(wl, core.PlainCPU)
+			if !okD || !okP || plain == 0 {
+				return 0
+			}
+			return float64(die) / float64(plain)
+		}
+		hashSlow, sortSlow := slowdown(hashGateWorkload), slowdown(sortGateWorkload)
+		note := fmt.Sprintf("hash-vs-sort gate (simulated DiE/plain slowdown): %s %.3fx vs %s %.3fx (want sort < hash)",
+			sortGateWorkload, sortSlow, hashGateWorkload, hashSlow)
+		if !(sortSlow > 0 && hashSlow > 0 && sortSlow < hashSlow) {
+			rep.HashSortOK = false
+			note += " MISS"
+		}
+		rep.TargetNotes = append(rep.TargetNotes, note)
+		fmt.Println("== hash vs sort ==")
+		fmt.Println("  " + note)
+	}
+
 	// --- Serve: multi-query serving scenarios over the worker pool ---
-	// Each setting calibrates the three pipelines once (small
+	// Each setting calibrates the five pipelines once (small
 	// serving-sized queries) and replays the sync x memory scenario
 	// matrix on the virtual clock. All simulated numbers are
 	// deterministic and golden-gated; under SGX DiE the run additionally
@@ -492,9 +547,13 @@ func main() {
 		{"micro.gather", func(ref bool) runner { return prepMicroGather(ref, die, gatherArr, gatherOps) }, reps},
 		{"join.RHO", func(ref bool) runner { return prepJoin(ref, die, join.NewRHO(), rhoScale, 1) }, joinReps},
 		{"join.PHT", func(ref bool) runner { return prepJoin(ref, die, join.NewPHT(), rhoScale*4, 1) }, joinReps},
+		{"join.MWAY", func(ref bool) runner { return prepJoin(ref, die, join.NewMWAY(), rhoScale*4, 1) }, joinReps},
+		{"join.CrkJoin", func(ref bool) runner { return prepJoin(ref, die, join.NewCrk(), rhoScale*4, 1) }, joinReps},
 		{query.Q1Name, func(ref bool) runner { return prepPipeline(ref, die, q1, qDim, qFact, qMaxRows, 1) }, joinReps},
 		{query.Q2Name, func(ref bool) runner { return prepPipeline(ref, die, q2, qDim, qFact, qMaxRows, 1) }, joinReps},
 		{query.Q3Name, func(ref bool) runner { return prepPipeline(ref, die, q3, qDim, q3Fact, 0, 1) }, joinReps},
+		{query.Q4Name, func(ref bool) runner { return prepPipeline(ref, die, q4, qDim, qFact, qMaxRows, 1) }, joinReps},
+		{query.Q5Name, func(ref bool) runner { return prepPipeline(ref, die, q5, qDim, q3Fact, 0, 1) }, joinReps},
 	}
 	for _, w := range sps {
 		rHost, rCycs, rChks, rStats := measure(w.prep(true), w.n)
@@ -595,7 +654,7 @@ func main() {
 	}
 	f.Close()
 	fmt.Printf("wrote %s\n", *out)
-	if !rep.Equivalent || !rep.GoldenOK || !rep.ServeOK {
+	if !rep.Equivalent || !rep.GoldenOK || !rep.ServeOK || !rep.HashSortOK {
 		os.Exit(1)
 	}
 }

@@ -27,7 +27,7 @@ import (
 
 var (
 	algName   = flag.String("alg", "RHO", "join algorithm: PHT, RHO, MWAY, INL or CrkJoin")
-	queryName = flag.String("query", "", "run a query pipeline instead of a join: q1.filter-agg, q2.filter-join-agg or q3.join-agg")
+	queryName = flag.String("query", "", "run a query pipeline instead of a join: q1.filter-agg, q2.filter-join-agg, q3.join-agg, q4.filter-sort-limit or q5.mergejoin-agg")
 	setName   = flag.String("setting", "plain", "execution setting: plain, plainm, doe or die")
 	scale     = flag.Int64("scale", 128, "platform scale-down factor (power of two)")
 	threads   = flag.Int("threads", 16, "worker threads")

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"sgxbench/internal/core"
+	"sgxbench/internal/mem"
 	"sgxbench/internal/platform"
 	"sgxbench/internal/rel"
 )
@@ -95,6 +96,66 @@ func TestGoldenPHTEquivalence(t *testing.T) {
 			ref := goldenRun(t, NewPHT(), setting, true, opt)
 			fast := goldenRun(t, NewPHT(), setting, false, opt)
 			compareGolden(t, setting.String()+"/PHT/opt="+boolStr(optimized), ref, fast)
+		}
+	}
+}
+
+// TestGoldenMWAYEquivalence enforces the fast-path invariant on the
+// sort-merge join. Unlike PHT's shared-table build, every MWAY phase
+// (chunk sort, multi-way merge, merge join) issues accesses only through
+// the owning thread over pre-partitioned ranges, so the join is
+// run-to-run deterministic at any thread count and both the
+// multi-threaded and the materialized variants can be compared exactly.
+func TestGoldenMWAYEquivalence(t *testing.T) {
+	allSettings := []core.Setting{core.PlainCPU, core.PlainCPUM, core.SGXDoE, core.SGXDiE}
+	for _, setting := range allSettings {
+		opt := Options{Threads: 4}
+		ref := goldenRun(t, NewMWAY(), setting, true, opt)
+		fast := goldenRun(t, NewMWAY(), setting, false, opt)
+		compareGolden(t, setting.String()+"/MWAY", ref, fast)
+	}
+}
+
+// TestGoldenMWAYMaterialized compares the materialized multi-threaded
+// variant (with pre-allocated per-thread output buffers, the q5
+// configuration, output rows land at deterministic addresses).
+func TestGoldenMWAYMaterialized(t *testing.T) {
+	for _, setting := range []core.Setting{core.PlainCPU, core.SGXDiE} {
+		run := func(ref bool) *Result {
+			env := core.NewEnv(core.Options{
+				Plat:      platform.XeonGold6326().Scaled(256),
+				Setting:   setting,
+				Reference: ref,
+			})
+			nR := rel.RowsForMB(100) / 256
+			nS := rel.RowsForMB(400) / 256
+			build, probe := rel.GenFKPair(env.Space, nR, nS, env.DataRegion(), 99)
+			outs := make([]*mem.U64Buf, 2)
+			for i := range outs {
+				outs[i] = env.Space.AllocU64("mway.out", nS, env.DataRegion())
+			}
+			res, err := NewMWAY().Run(env, build, probe, Options{Threads: 2, Materialize: true, OutBufs: outs})
+			if err != nil {
+				t.Fatalf("MWAY: %v", err)
+			}
+			return res
+		}
+		compareGolden(t, setting.String()+"/MWAY/materialized", run(true), run(false))
+	}
+}
+
+// TestGoldenCrkEquivalence enforces the fast-path invariant on CrkJoin.
+// Cracking partitions both tables in place over disjoint per-thread
+// segments and joins partitions round-robin, so it too is deterministic
+// at any thread count.
+func TestGoldenCrkEquivalence(t *testing.T) {
+	allSettings := []core.Setting{core.PlainCPU, core.PlainCPUM, core.SGXDoE, core.SGXDiE}
+	for _, setting := range allSettings {
+		for _, optimized := range []bool{false, true} {
+			opt := Options{Threads: 4, Optimized: optimized}
+			ref := goldenRun(t, NewCrk(), setting, true, opt)
+			fast := goldenRun(t, NewCrk(), setting, false, opt)
+			compareGolden(t, setting.String()+"/CrkJoin/opt="+boolStr(optimized), ref, fast)
 		}
 	}
 }

@@ -1,12 +1,11 @@
 package join
 
 import (
-	"sort"
-
 	"sgxbench/internal/core"
-	"sgxbench/internal/engine"
+	"sgxbench/internal/exec"
 	"sgxbench/internal/mem"
 	"sgxbench/internal/rel"
+	sortop "sgxbench/internal/sort"
 )
 
 // MWAY is the Multi-Way Sort Merge join (Kim et al. [21], TEEBench's
@@ -17,12 +16,11 @@ import (
 // positions known ahead of time. This is why MWAY shows a much smaller
 // enclave slowdown than the hash joins in Fig 3.
 //
-// Simulation note (documented in DESIGN.md): sorting is performed for
-// real with the standard library, while the engine charges the access
-// pattern of the vectorized merge passes at cache-line granularity —
-// log2(run) in-cache passes per run plus the multi-way merge pass. This
-// preserves the operator's bandwidth/compute profile without simulating
-// every comparison individually.
+// The implementation composes the operator layers directly: each input
+// is sorted with internal/sort's parallel run-sort + multi-way merge
+// (the m-way charging model lives there), and the sorted tables are
+// joined with MergeJoinSorted — exactly the stages the q5 pipeline runs,
+// so the standalone join and the pipeline share one timing model.
 type MWAY struct{}
 
 // NewMWAY returns the MWAY algorithm.
@@ -31,104 +29,26 @@ func NewMWAY() *MWAY { return &MWAY{} }
 // Name returns the paper's name for the algorithm.
 func (*MWAY) Name() string { return "MWAY" }
 
-// mergeWork is the charged compute per tuple per merge level (vectorized
-// bitonic merge networks; branchless, so no mispredict costs).
-const mergeWork = 3
-
-// sortChunkTimed really sorts tup[lo:hi] (by key, then payload for
-// determinism) and charges the timing of the m-way sort: each cache-sized
-// run is sorted with log2(runLen) in-cache passes (the passes iterate
-// run-by-run, so the simulated cache keeps each run resident exactly as
-// the real algorithm does), followed by log2(n/runLen) streaming merge
-// passes over the whole chunk.
-func sortChunkTimed(t *engine.Thread, buf *mem.U64Buf, tmp *mem.U64Buf, lo, hi int, runLen int) {
-	n := hi - lo
-	if n <= 1 {
-		return
-	}
-	sort.Slice(buf.D[lo:hi], func(i, j int) bool { return tupLess(buf.D[lo+i], buf.D[lo+j]) })
-	const passBlock = 32
-	var offs [passBlock]int64
-	var toks [passBlock]engine.Tok
-	pass := func(src, dst *mem.U64Buf, a, b int) {
-		o := int64(a * 8)
-		end := int64(b * 8)
-		// Full-line blocks: one batched load run per block, then the
-		// line stores with their per-line data dependencies as one
-		// scatter (the merge network consumes a line before emitting it).
-		for o+64 <= end {
-			blk := int((end - o) / 64)
-			if blk > passBlock {
-				blk = passBlock
-			}
-			t.LoadRunToks(&src.Buffer, o, 64, blk, 0, toks[:blk])
-			t.Work(8 * mergeWork * uint64(blk))
-			for l := 0; l < blk; l++ {
-				offs[l] = o + int64(l)*64
-			}
-			t.StoreScatter(&dst.Buffer, 64, offs[:blk], nil, toks[:blk])
-			o += int64(blk) * 64
-		}
-		if o < end {
-			tok := engine.LoadLine(t, &src.Buffer, o, 0)
-			t.Work(8 * mergeWork)
-			engine.StoreLine(t, &dst.Buffer, o, 0, tok)
-		}
-	}
-	// In-cache run sorting: all passes of one run before the next run.
-	for ra := lo; ra < hi; ra += runLen {
-		rb := ra + runLen
-		if rb > hi {
-			rb = hi
-		}
-		src, dst := buf, tmp
-		for r := 1; r < rb-ra; r <<= 1 {
-			pass(src, dst, ra, rb)
-			src, dst = dst, src
-		}
-		if src != buf {
-			pass(src, buf, ra, rb) // copy back into place
-		}
-	}
-	// Cross-run merge passes: streaming over the whole chunk.
-	src, dst := buf, tmp
-	levels := 0
-	for r := runLen; r < n; r <<= 1 {
-		pass(src, dst, lo, hi)
-		src, dst = dst, src
-		levels++
-	}
-	if levels%2 == 1 {
-		pass(src, buf, lo, hi)
-	}
-}
-
-// tupLess orders rows by join key, breaking ties on the payload so that
-// every sort is total and deterministic.
-func tupLess(a, b uint64) bool {
-	ka, kb := mem.TupleKey(a), mem.TupleKey(b)
-	if ka != kb {
-		return ka < kb
-	}
-	return a < b
-}
-
 // Run executes the join.
 func (m *MWAY) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Result, error) {
-	T := opt.threads()
-	g := env.NewGroup(T, opt.NodeOf)
+	return m.RunOn(env, env.NewGroup(opt.threads(), opt.NodeOf), build, probe, opt)
+}
+
+// RunOn executes the join on an existing thread group (pipeline stage
+// composition; see RHO.RunOn). Options.Threads and NodeOf are ignored;
+// Result timing and stats cover only this join's phases.
+func (m *MWAY) RunOn(env *core.Env, g *exec.Group, build, probe *rel.Relation, opt Options) (*Result, error) {
+	mark := g.Mark()
 	res := &Result{Algorithm: m.Name()}
 	reg := env.DataRegion()
-
-	// Runs are sized so that a run and its ping-pong buffer together
-	// occupy half of L2 and stay resident across the in-run sort passes.
-	runLen := int(env.Plat.L2.SizeBytes / 4 / rel.TupleBytes)
-	if runLen < 64 {
-		runLen = 64
-	}
+	runLen := sortop.RunLen(env)
+	// Key space is [1, nBuild+1) (unique build keys), so arithmetic
+	// splitters keep the merge and join ranges balanced; correctness
+	// holds for any distribution.
+	maxKey := uint32(build.N() + 1)
 
 	type table struct {
-		work *mem.U64Buf // sorted per-thread chunks (in place)
+		work *mem.U64Buf // per-thread chunk work area (sorted in place)
 		tmp  *mem.U64Buf // ping-pong buffer
 		out  *mem.U64Buf // globally sorted result
 		n    int
@@ -145,147 +65,21 @@ func (m *MWAY) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Res
 	}
 	R, S := mk(build, "R"), mk(probe, "S")
 
-	// --- Phase: per-thread chunk sort (both tables) ---
-	g.Phase("Sort", func(t *engine.Thread, id int) {
-		for _, tb := range []*table{R, S} {
-			lo, hi := chunk(tb.n, T, id)
-			sortChunkTimed(t, tb.work, tb.tmp, lo, hi, runLen)
-		}
-	})
+	// --- Sort both tables (chunk sort + multi-way merge each) ---
+	for _, tb := range []*table{R, S} {
+		sortop.RunOn(env, g, tb.work, tb.n, sortop.Options{
+			MaxKey: maxKey, RunLen: runLen, Tmp: tb.tmp, Out: tb.out,
+			SkipCheck: true, // the join result carries its own checks
+		})
+	}
 
-	// --- Phase: multi-way merge, range-partitioned by key ---
-	// Thread i merges keys in [splitter(i), splitter(i+1)) from every
-	// chunk. Key space is [1, nBuild+1) (uniform FK keys), so arithmetic
-	// splitters stay balanced; correctness holds for any distribution.
-	maxKey := uint32(build.N() + 1)
-	splitter := func(i int) uint32 {
-		return uint32(uint64(maxKey) * uint64(i) / uint64(T))
-	}
-	mergeRange := func(t *engine.Thread, tb *table, id int) {
-		loKey, hiKey := splitter(id), splitter(id+1)
-		if id == T-1 {
-			hiKey = ^uint32(0)
-		}
-		// Locate the range in every chunk (binary searches, charged as
-		// dependent node probes).
-		type cursor struct{ pos, end int }
-		cursors := make([]cursor, T)
-		outPos := 0
-		for c := 0; c < T; c++ {
-			clo, chi := chunk(tb.n, T, c)
-			d := tb.work.D[clo:chi]
-			a := clo + sort.Search(len(d), func(i int) bool { return mem.TupleKey(d[i]) >= loKey })
-			b := clo + sort.Search(len(d), func(i int) bool { return mem.TupleKey(d[i]) >= hiKey })
-			cursors[c] = cursor{pos: a, end: b}
-			t.Work(20) // binary search probes
-		}
-		// Output offset: total rows below loKey across chunks.
-		for c := 0; c < T; c++ {
-			clo, _ := chunk(tb.n, T, c)
-			outPos += cursors[c].pos - clo
-		}
-		// K-way merge with a loser tree (log2(T) compares per element).
-		logT := 1
-		for 1<<logT < T {
-			logT++
-		}
-		for {
-			best, bestVal := -1, uint64(0)
-			for c := 0; c < T; c++ {
-				if cursors[c].pos < cursors[c].end {
-					v := tb.work.D[cursors[c].pos]
-					if best == -1 || tupLess(v, bestVal) {
-						best, bestVal = c, v
-					}
-				}
-			}
-			if best == -1 {
-				break
-			}
-			p := cursors[best].pos
-			var tok engine.Tok
-			if p%8 == 0 {
-				tok = engine.LoadLine(t, &tb.work.Buffer, int64(p)*8, 0)
-			}
-			t.Work(uint64(logT) * mergeWork)
-			engine.StoreU64(t, tb.out, outPos, tb.work.D[p], 0, tok)
-			cursors[best].pos++
-			outPos++
-		}
-	}
-	g.Phase("Merge", func(t *engine.Thread, id int) {
-		mergeRange(t, R, id)
-		mergeRange(t, S, id)
-	})
+	// --- Merge join over the sorted tables ---
+	// (MergeJoinSorted folds any serialized allocation cycles into the
+	// group clock itself; nothing allocates after it.)
+	jr := MergeJoinSorted(env, g, R.out, R.n, S.out, S.n, maxKey, opt)
+	res.Matches = jr.Matches
+	res.Output = jr.Output
 
-	// --- Phase: merge join over the sorted tables ---
-	counts := make([]uint64, T)
-	outs := make([]*outWriter, T)
-	g.Phase("MergeJoin", func(t *engine.Thread, id int) {
-		loKey, hiKey := splitter(id), splitter(id+1)
-		if id == T-1 {
-			hiKey = ^uint32(0)
-		}
-		var out *outWriter
-		if opt.Materialize {
-			out = newOutWriter(env, id, opt.outBuf(id))
-			outs[id] = out
-		}
-		ri := sort.Search(R.n, func(i int) bool { return mem.TupleKey(R.out.D[i]) >= loKey })
-		rEnd := sort.Search(R.n, func(i int) bool { return mem.TupleKey(R.out.D[i]) >= hiKey })
-		si := sort.Search(S.n, func(i int) bool { return mem.TupleKey(S.out.D[i]) >= loKey })
-		sEnd := sort.Search(S.n, func(i int) bool { return mem.TupleKey(S.out.D[i]) >= hiKey })
-		var local uint64
-		var rTok, sTok engine.Tok
-		for ri < rEnd && si < sEnd {
-			if ri%8 == 0 {
-				rTok = engine.LoadLine(t, &R.out.Buffer, int64(ri)*8, 0)
-			}
-			rk := mem.TupleKey(R.out.D[ri])
-			// Advance S over smaller keys, counting matches on equality.
-			for si < sEnd {
-				if si%8 == 0 {
-					sTok = engine.LoadLine(t, &S.out.Buffer, int64(si)*8, 0)
-				}
-				sk := mem.TupleKey(S.out.D[si])
-				t.Work(1)
-				if sk < rk {
-					si++
-					continue
-				}
-				if sk > rk {
-					break
-				}
-				local++
-				if out != nil {
-					dep := rTok
-					if sTok > dep {
-						dep = sTok
-					}
-					out.append(t, mem.MakeTuple(mem.TuplePayload(S.out.D[si]), mem.TuplePayload(R.out.D[ri])), engine.After(dep, 1))
-				}
-				si++
-			}
-			ri++
-			t.Work(1)
-		}
-		counts[id] = local
-	})
-
-	g.AdvanceClock(env.Alloc.SerialCycles())
-	for _, c := range counts {
-		res.Matches += c
-	}
-	if opt.Materialize {
-		res.Output = make([][]uint64, T)
-		for i, w := range outs {
-			if w != nil {
-				res.Output[i] = w.result()
-			}
-		}
-	}
-	res.Phases = g.Phases()
-	res.WallCycles = g.Clock()
-	res.Stats = g.TotalStats()
+	res.Phases, res.Stats, res.WallCycles = g.Since(mark)
 	return res, nil
 }

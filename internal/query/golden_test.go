@@ -1,6 +1,7 @@
 package query
 
 import (
+	stdsort "sort"
 	"testing"
 
 	"sgxbench/internal/agg"
@@ -8,6 +9,7 @@ import (
 	"sgxbench/internal/mem"
 	"sgxbench/internal/platform"
 	"sgxbench/internal/scan"
+	sortop "sgxbench/internal/sort"
 )
 
 const (
@@ -40,7 +42,7 @@ func goldenRun(t *testing.T, p Pipeline, setting core.Setting, ref bool) *Result
 // TestGoldenPipelineEquivalence enforces the fast-path invariant on the
 // whole pipelines: under every execution setting, the fast and reference
 // engine paths must produce bit-identical check values, wall cycles and
-// aggregate statistics for each of the three query shapes.
+// aggregate statistics for every shipped query shape (q1..q5).
 func TestGoldenPipelineEquivalence(t *testing.T) {
 	settings := []core.Setting{core.PlainCPU, core.PlainCPUM, core.SGXDoE, core.SGXDiE}
 	for _, p := range All() {
@@ -122,6 +124,22 @@ func oracleJoinAgg(ds *Dataset, pred scan.Predicate, filtered bool) map[uint32]a
 	return m
 }
 
+// oracleQ4 computes q4's expected top-k rows: the filtered fact tuples
+// in ascending (key, tuple) order, truncated to k.
+func oracleQ4(ds *Dataset, pred scan.Predicate, k int) []uint64 {
+	var rows []uint64
+	for i := 0; i < ds.Fact.N(); i++ {
+		if ds.Filter.D[i] >= pred.Lo && ds.Filter.D[i] <= pred.Hi {
+			rows = append(rows, ds.Fact.Tup.D[i])
+		}
+	}
+	stdsort.Slice(rows, func(i, j int) bool { return sortop.TupLess(rows[i], rows[j]) })
+	if k > len(rows) {
+		k = len(rows)
+	}
+	return rows[:k]
+}
+
 func addTo(m map[uint32]agg.GroupAgg, ds *Dataset, pred scan.Predicate, kv func(i int) (uint32, uint32)) {
 	for i := 0; i < ds.Fact.N(); i++ {
 		if ds.Filter.D[i] < pred.Lo || ds.Filter.D[i] > pred.Hi {
@@ -158,8 +176,23 @@ func TestPipelineCorrectness(t *testing.T) {
 			want = oracleQ1(ds, testPred)
 		case Q2Name:
 			want = oracleJoinAgg(ds, testPred, true)
-		case Q3Name:
+		case Q3Name, Q5Name:
+			// q5 computes the same unfiltered join-aggregation as q3,
+			// through the sort-merge path instead of the hash path.
 			want = oracleJoinAgg(ds, testPred, false)
+		case Q4Name:
+			wantRows := oracleQ4(ds, testPred, DefaultLimit)
+			if res.Groups != len(wantRows) || len(res.TopRows) != len(wantRows) {
+				t.Errorf("%s: emitted %d/%d rows, oracle %d", p.Name, res.Groups, len(res.TopRows), len(wantRows))
+				continue
+			}
+			for i, v := range wantRows {
+				if res.TopRows[i] != v {
+					t.Errorf("%s: row %d = %#x, oracle %#x", p.Name, i, res.TopRows[i], v)
+					break
+				}
+			}
+			continue
 		}
 		if res.Groups != len(want) {
 			t.Errorf("%s: groups=%d oracle=%d", p.Name, res.Groups, len(want))

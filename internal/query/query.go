@@ -11,12 +11,15 @@
 // the environment's data region — EPC-resident under SGX DiE, exactly
 // where DuckDB-style engines hold intermediates inside an enclave.
 //
-// Three query shapes ship, mirroring a star-schema aggregation at
-// increasing depth:
+// Five query shapes ship: a star-schema aggregation at increasing
+// depth, plus the two sort-based shapes whose sequential-stream access
+// pattern is the paper's Fig 3 counterpoint to the hash operators:
 //
-//	q1.filter-agg       σ(fact) → gather fact tuples → γ(fk; payload)
-//	q2.filter-join-agg  σ(fact) → gather → fact ⋈ dim (RHO) → γ(dim attr)
-//	q3.join-agg         fact ⋈ dim (PHT) → γ(dim attr)
+//	q1.filter-agg        σ(fact) → gather fact tuples → γ(fk; payload)
+//	q2.filter-join-agg   σ(fact) → gather → fact ⋈ dim (RHO) → γ(dim attr)
+//	q3.join-agg          fact ⋈ dim (PHT) → γ(dim attr)
+//	q4.filter-sort-limit σ(fact) → gather → ORDER BY key LIMIT k
+//	q5.mergejoin-agg     sort(fact), sort(dim) → merge ⋈ (MWAY) → γ(dim attr)
 //
 // All stages run on the engine's batched APIs with per-op reference
 // decompositions, so whole pipelines are bit-identical (results AND
@@ -70,6 +73,8 @@ type Options struct {
 	// MaxRows caps the filtered rows fed downstream (0: no cap) — the
 	// benchmark knob bounding the expensive random-access stages.
 	MaxRows int
+	// Limit is q4's ORDER BY ... LIMIT row count (0: DefaultLimit).
+	Limit int
 	// Scratch provides pre-allocated intermediates; repeated runs over
 	// the same Scratch see identical simulated addresses (benchmark
 	// repetitions, golden gates). Nil allocates internally.
@@ -92,7 +97,20 @@ type Scratch struct {
 	JoinOut []*mem.U64Buf // per-thread materialized join outputs
 	AggOut  *mem.U64Buf   // group entries
 	AggPart *mem.U64Buf   // group-by partition intermediate
-	cap     int
+	// Sort-shape intermediates (q4/q5), allocated lazily on first use so
+	// the hash-shape pipelines' working sets — and serve.Calibrate's
+	// per-class page counts, which drive the EDMM commit costs — never
+	// carry sort scratch they don't touch. Once allocated they are
+	// reused, so repeated runs still see identical simulated addresses.
+	// The fact-side sort triple is sized like FTup (maxRows), the dim
+	// side for the full dimension; the top-k triple for up to topK rows
+	// per thread.
+	FactSort, FactTmp, FactSorted *mem.U64Buf // q5 fact work / ping-pong / sorted
+	DimSort, DimTmp, DimSorted    *mem.U64Buf // q5 dim work / ping-pong / sorted
+	TopKHeap, TopKTmp             *mem.U64Buf // q4 per-thread heaps + final-sort ping-pong
+	TopKOut                       *mem.U64Buf // q4 emitted LIMIT rows
+	cap                           int
+	topK                          int
 }
 
 // NewScratch pre-allocates intermediates for pipelines over ds with the
@@ -106,6 +124,10 @@ func NewScratch(env *core.Env, ds *Dataset, threads, maxRows int) *Scratch {
 		maxRows = 1
 	}
 	reg := env.DataRegion()
+	topK := DefaultLimit
+	if topK > maxRows {
+		topK = maxRows
+	}
 	sc := &Scratch{
 		IDs:     env.Space.AllocU64("q.ids", ds.Fact.N()+64, reg),
 		FTup:    env.Space.AllocU64("q.ftup", maxRows, reg),
@@ -113,6 +135,7 @@ func NewScratch(env *core.Env, ds *Dataset, threads, maxRows int) *Scratch {
 		AggOut:  env.Space.AllocU64("q.agg.out", agg.EntryWords*maxRows, reg),
 		AggPart: env.Space.AllocU64("q.agg.parts", maxRows, reg),
 		cap:     maxRows,
+		topK:    topK,
 	}
 	for i := range sc.JoinOut {
 		sc.JoinOut[i] = env.Space.AllocU64(fmt.Sprintf("q.join.out.%d", i), maxRows, reg)
@@ -120,16 +143,34 @@ func NewScratch(env *core.Env, ds *Dataset, threads, maxRows int) *Scratch {
 	return sc
 }
 
-// Bytes returns the simulated footprint of all pre-allocated
-// intermediates — the request-private working set a serving layer must
-// provision per in-flight query (internal/serve commits these pages
-// under its dynamic memory modes).
-func (sc *Scratch) Bytes() int64 {
-	n := sc.IDs.Size + sc.FTup.Size + sc.AggOut.Size + sc.AggPart.Size
-	for _, b := range sc.JoinOut {
-		n += b.Size
+// ensureSort allocates the q5 sort triples on first use (in the
+// pipeline's setup path, before any timed phase, so addresses stay
+// deterministic).
+func (sc *Scratch) ensureSort(env *core.Env, ds *Dataset) {
+	if sc.FactSort != nil {
+		return
 	}
-	return n
+	reg := env.DataRegion()
+	sc.FactSort = env.Space.AllocU64("q.fact.work", sc.cap, reg)
+	sc.FactTmp = env.Space.AllocU64("q.fact.tmp", sc.cap, reg)
+	sc.FactSorted = env.Space.AllocU64("q.fact.sorted", sc.cap, reg)
+	sc.DimSort = env.Space.AllocU64("q.dim.work", ds.Dim.N(), reg)
+	sc.DimTmp = env.Space.AllocU64("q.dim.tmp", ds.Dim.N(), reg)
+	sc.DimSorted = env.Space.AllocU64("q.dim.sorted", ds.Dim.N(), reg)
+}
+
+// ensureTopK allocates the q4 top-k triple on first use.
+func (sc *Scratch) ensureTopK(env *core.Env, threads int) {
+	if sc.TopKHeap != nil {
+		return
+	}
+	reg := env.DataRegion()
+	if threads < 1 {
+		threads = 1
+	}
+	sc.TopKHeap = env.Space.AllocU64("q.topk.heap", threads*sc.topK, reg)
+	sc.TopKTmp = env.Space.AllocU64("q.topk.tmp", threads*sc.topK, reg)
+	sc.TopKOut = env.Space.AllocU64("q.topk.out", sc.topK, reg)
 }
 
 // StageStats reports one pipeline stage.
@@ -151,6 +192,9 @@ type Result struct {
 	Stages []StageStats
 	Phases []exec.PhaseStats
 	Stats  engine.Stats
+	// TopRows holds q4's emitted LIMIT rows in ORDER BY order (nil for
+	// the aggregation-shaped pipelines).
+	TopRows []uint64
 }
 
 // Pipeline is one executable query shape.
@@ -165,6 +209,8 @@ func All() []Pipeline {
 		{Name: Q1Name, Run: Q1FilterAgg},
 		{Name: Q2Name, Run: Q2FilterJoinAgg},
 		{Name: Q3Name, Run: Q3JoinAgg},
+		{Name: Q4Name, Run: Q4FilterSortLimit},
+		{Name: Q5Name, Run: Q5MergeJoinAgg},
 	}
 }
 
@@ -183,6 +229,8 @@ const (
 	Q1Name = "q1.filter-agg"
 	Q2Name = "q2.filter-join-agg"
 	Q3Name = "q3.join-agg"
+	Q4Name = "q4.filter-sort-limit"
+	Q5Name = "q5.mergejoin-agg"
 )
 
 // scratch returns the options' Scratch, allocating one when absent.

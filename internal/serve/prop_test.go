@@ -1,0 +1,92 @@
+package serve_test
+
+import (
+	"testing"
+
+	"sgxbench/internal/core"
+	"sgxbench/internal/serve"
+)
+
+// Property tests over the serving simulator: structural laws that must
+// hold across whole parameter ranges, not just at the bench scenario's
+// single operating point.
+
+// TestMutexThroughputMonotoneInClients: once the worker pool is
+// saturated, adding closed-loop clients under the SGX SDK mutex must
+// never buy throughput — the queue is lock-bound and added offered load
+// can only deepen the contention (the Section 4.4 regime). The
+// simulation is deterministic but finite runs carry a sub-0.5% ramp-up/
+// ramp-down boundary effect (a shorter warm-up fraction at higher client
+// counts), so the law is asserted with a 0.5% tolerance over long runs
+// rather than exact non-increase.
+func TestMutexThroughputMonotoneInClients(t *testing.T) {
+	w := synthetic(core.SGXDiE, 50_000, 0)
+	const workers = 8
+	const boundarySlack = 1.005
+	prev := -1.0
+	prevClients := 0
+	for _, clients := range []int{workers, 2 * workers, 4 * workers, 8 * workers, 16 * workers} {
+		r := w.Simulate(serve.Config{
+			Clients: clients, Workers: workers, RequestsPerClient: 128,
+			Sync: serve.SyncMutex, Mem: serve.MemPreSized, JitterPct: 10, Seed: 7,
+		})
+		if prev >= 0 && r.ThroughputQPS > prev*boundarySlack {
+			t.Errorf("SDK mutex throughput increased with clients: %d clients %.0f qps > %d clients %.0f qps",
+				clients, r.ThroughputQPS, prevClients, prev)
+		}
+		prev, prevClients = r.ThroughputQPS, clients
+	}
+}
+
+// TestLockFreeAtLeastMutexEveryWorkerCount: at every pool size, the
+// lock-free dispatch queue must serve at least the SDK mutex's
+// throughput — the ordering the paper's Fig 11 regime implies has no
+// crossover point.
+func TestLockFreeAtLeastMutexEveryWorkerCount(t *testing.T) {
+	w := synthetic(core.SGXDiE, 50_000, 0)
+	for _, workers := range []int{1, 2, 4, 8, 16, 32} {
+		c := serve.Config{
+			Clients: 32, Workers: workers, RequestsPerClient: 8,
+			Mem: serve.MemPreSized, JitterPct: 10, Seed: 7,
+		}
+		c.Sync = serve.SyncMutex
+		mutex := w.Simulate(c)
+		c.Sync = serve.SyncLockFree
+		free := w.Simulate(c)
+		if free.ThroughputQPS < mutex.ThroughputQPS {
+			t.Errorf("workers=%d: lock-free %.0f qps < SDK mutex %.0f qps",
+				workers, free.ThroughputQPS, mutex.ThroughputQPS)
+		}
+	}
+}
+
+// TestCheckInvariantUnderEnginePathSwap: the FNV check value of every
+// scenario in the sync x memory matrix must be invariant under swapping
+// the calibration between the fast and per-op reference engine paths —
+// the serving-layer face of the engine's fast-path invariant, asserted
+// over real (small) calibrated pipelines rather than synthetic costs.
+func TestCheckInvariantUnderEnginePathSwap(t *testing.T) {
+	small := serve.CalibrateOptions{Setting: core.SGXDiE, NDim: 64, NFact: 1 << 9}
+	fast, err := serve.Calibrate(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small.Reference = true
+	ref, err := serve.Calibrate(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sync := range []serve.SyncKind{serve.SyncMutex, serve.SyncSpin, serve.SyncLockFree} {
+		for _, mem := range []serve.MemMode{serve.MemPreSized, serve.MemDynamic} {
+			c := serve.Config{
+				Clients: 16, Workers: 8, RequestsPerClient: 4,
+				Sync: sync, Mem: mem, JitterPct: 10, Seed: 7,
+			}
+			fr, rr := fast.Simulate(c), ref.Simulate(c)
+			if fr.Check != rr.Check || fr.MakespanCycles != rr.MakespanCycles || fr.Breakdown != rr.Breakdown {
+				t.Errorf("%s/%s: scenario diverged across engine paths (check %#x vs %#x)",
+					sync, mem, fr.Check, rr.Check)
+			}
+		}
+	}
+}

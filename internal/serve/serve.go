@@ -1,5 +1,5 @@
 // Package serve is a deterministic multi-query serving simulator: it
-// drives many concurrent clients issuing q1/q2/q3 pipeline requests
+// drives many concurrent clients issuing pipeline requests (q1..q5)
 // through an enclave worker pool on a virtual clock.
 //
 // The paper's most dramatic SGXv2 results are concurrency effects, not
@@ -167,7 +167,7 @@ type CalibrateOptions struct {
 	// Dataset shape. Serving workloads are many small queries, so the
 	// defaults are deliberately tiny: NDim 256, NFact 4096.
 	NDim, NFact, MaxRows int
-	Pipelines            []string // default: q1, q2, q3
+	Pipelines            []string // default: q1..q5
 	Seed                 uint64   // dataset seed (default 4242)
 }
 
@@ -188,7 +188,7 @@ func (o *CalibrateOptions) defaults() {
 		o.MaxRows = o.NFact
 	}
 	if len(o.Pipelines) == 0 {
-		o.Pipelines = []string{query.Q1Name, query.Q2Name, query.Q3Name}
+		o.Pipelines = []string{query.Q1Name, query.Q2Name, query.Q3Name, query.Q4Name, query.Q5Name}
 	}
 	if o.Seed == 0 {
 		o.Seed = 4242
@@ -221,22 +221,25 @@ func Calibrate(o CalibrateOptions) (*Workload, error) {
 			Plat: o.Plat, Setting: o.Setting, OS: o.OS, Reference: o.Reference,
 		})
 		ds := query.GenDataset(env, o.NDim, o.NFact, o.Seed)
-		sc := query.NewScratch(env, ds, 1, o.MaxRows)
 		reg := env.DataRegion()
+		// Snapshot before the scratch so the working set below counts
+		// every request-private byte exactly once — the eager scratch,
+		// the sort/top-k buffers q4/q5 allocate lazily on first use, and
+		// whatever the operators allocate while running (join tables,
+		// partition buffers, ...).
 		preUsed := env.Space.Used(reg)
+		sc := query.NewScratch(env, ds, 1, o.MaxRows)
 		res := p.Run(env, ds, query.Options{
 			Threads: 1,
 			Pred:    scan.Predicate{Lo: 16, Hi: 127},
 			MaxRows: o.MaxRows,
 			Scratch: sc,
 		})
-		// Working set = pre-allocated scratch + whatever the operators
-		// allocated while running (join tables, partition buffers, ...).
-		dynBytes := env.Space.Used(reg) - preUsed
+		wsBytes := env.Space.Used(reg) - preUsed
 		w.Classes = append(w.Classes, ClassCost{
 			Name:          name,
 			ServiceCycles: res.WallCycles,
-			Pages:         (sc.Bytes() + dynBytes + 4095) / 4096,
+			Pages:         (wsBytes + 4095) / 4096,
 			Check:         res.Check,
 		})
 		w.Stats.Add(res.Stats)

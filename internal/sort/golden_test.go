@@ -1,0 +1,98 @@
+package sort_test
+
+import (
+	"testing"
+
+	"sgxbench/internal/core"
+	sortop "sgxbench/internal/sort"
+)
+
+func allSettings() []core.Setting {
+	return []core.Setting{core.PlainCPU, core.PlainCPUM, core.SGXDoE, core.SGXDiE}
+}
+
+// TestGoldenSortEquivalence enforces the fast-path invariant on the
+// parallel sorter: under every execution setting and at multiple thread
+// counts, the per-op reference engine and the batched fast engine must
+// produce bit-identical checks, wall cycles and statistics.
+func TestGoldenSortEquivalence(t *testing.T) {
+	const n, maxKey = 20000, 4096
+	for _, setting := range allSettings() {
+		for _, threads := range []int{1, 3} {
+			run := func(ref bool) *sortop.Result {
+				env := newEnv(setting, ref)
+				in := genTuples(env, "in", n, maxKey, 1234)
+				return sortop.Run(env, in, n, sortop.Options{Threads: threads, MaxKey: maxKey})
+			}
+			ref, fast := run(true), run(false)
+			label := setting.String()
+			if ref.Check != fast.Check {
+				t.Errorf("%s/T=%d: check ref=%#x fast=%#x", label, threads, ref.Check, fast.Check)
+			}
+			if ref.WallCycles != fast.WallCycles {
+				t.Errorf("%s/T=%d: wall cycles ref=%d fast=%d", label, threads, ref.WallCycles, fast.WallCycles)
+			}
+			if ref.Stats != fast.Stats {
+				t.Errorf("%s/T=%d: stats differ\nref:  %+v\nfast: %+v", label, threads, ref.Stats, fast.Stats)
+			}
+		}
+	}
+}
+
+// TestGoldenTopKEquivalence enforces the fast-path invariant on the
+// heap-based top-k under every setting.
+func TestGoldenTopKEquivalence(t *testing.T) {
+	const n, k, maxKey = 20000, 512, 4096
+	for _, setting := range allSettings() {
+		for _, threads := range []int{1, 3} {
+			run := func(ref bool) *sortop.TopKResult {
+				env := newEnv(setting, ref)
+				in := genTuples(env, "in", n, maxKey, 4321)
+				return sortop.TopK(env, in, n, k, sortop.TopKOptions{Threads: threads})
+			}
+			ref, fast := run(true), run(false)
+			label := setting.String()
+			if ref.Check != fast.Check || ref.K != fast.K {
+				t.Errorf("%s/T=%d: check ref=%#x fast=%#x (k %d/%d)", label, threads, ref.Check, fast.Check, ref.K, fast.K)
+			}
+			if ref.WallCycles != fast.WallCycles {
+				t.Errorf("%s/T=%d: wall cycles ref=%d fast=%d", label, threads, ref.WallCycles, fast.WallCycles)
+			}
+			if ref.Stats != fast.Stats {
+				t.Errorf("%s/T=%d: stats differ\nref:  %+v\nfast: %+v", label, threads, ref.Stats, fast.Stats)
+			}
+		}
+	}
+}
+
+// TestSortRepeatDeterminism: two identically prepared environments must
+// produce pairwise bit-identical results on every repetition (the
+// reproducibility the CI golden gate relies on).
+func TestSortRepeatDeterminism(t *testing.T) {
+	const n, maxKey = 20000, 4096
+	mk := func() (*core.Env, func() (*sortop.Result, *sortop.TopKResult)) {
+		env := newEnv(core.SGXDiE, false)
+		in := genTuples(env, "in", n, maxKey, 77)
+		work := env.Space.AllocU64("work", n, env.DataRegion())
+		tmp := env.Space.AllocU64("tmp", n, env.DataRegion())
+		out := env.Space.AllocU64("out", n, env.DataRegion())
+		return env, func() (*sortop.Result, *sortop.TopKResult) {
+			copy(work.D, in.D)
+			sr := sortop.Run(env, work, n, sortop.Options{Threads: 2, MaxKey: maxKey, Tmp: tmp, Out: out})
+			tr := sortop.TopK(env, in, n, 256, sortop.TopKOptions{Threads: 2})
+			return sr, tr
+		}
+	}
+	_, runA := mk()
+	_, runB := mk()
+	for rep := 0; rep < 3; rep++ {
+		sa, ta := runA()
+		sb, tb := runB()
+		if sa.Check != sb.Check || sa.WallCycles != sb.WallCycles || sa.Stats != sb.Stats {
+			t.Errorf("rep %d: sort diverged across identically prepared envs", rep)
+		}
+		if ta.Check != tb.Check || ta.WallCycles != tb.WallCycles || ta.Stats != tb.Stats {
+			t.Errorf("rep %d: topk diverged across identically prepared envs", rep)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package sort_test
+
+import (
+	stdsort "sort"
+	"testing"
+
+	"sgxbench/internal/core"
+	"sgxbench/internal/mem"
+	"sgxbench/internal/platform"
+	"sgxbench/internal/rng"
+	sortop "sgxbench/internal/sort"
+)
+
+// genTuples fills a fresh buffer with n deterministic random tuples whose
+// keys are uniform in [1, maxKey).
+func genTuples(env *core.Env, name string, n int, maxKey uint32, seed uint64) *mem.U64Buf {
+	buf := env.Space.AllocU64(name, n, env.DataRegion())
+	r := rng.NewXorShift(rng.Mix(seed))
+	for i := range buf.D {
+		buf.D[i] = mem.MakeTuple(uint32(r.Uint64n(uint64(maxKey-1)))+1, uint32(i))
+	}
+	return buf
+}
+
+func newEnv(setting core.Setting, ref bool) *core.Env {
+	return core.NewEnv(core.Options{
+		Plat:      platform.XeonGold6326().Scaled(256),
+		Setting:   setting,
+		Reference: ref,
+	})
+}
+
+// oracle returns the TupLess-sorted copy of the rows.
+func oracle(rows []uint64) []uint64 {
+	out := append([]uint64(nil), rows...)
+	stdsort.Slice(out, func(i, j int) bool { return sortop.TupLess(out[i], out[j]) })
+	return out
+}
+
+// TestSortCorrectness: the parallel sorter must produce exactly the
+// TupLess-ordered permutation of its input, at several thread counts and
+// sizes (including non-power-of-two and sub-run sizes).
+func TestSortCorrectness(t *testing.T) {
+	const maxKey = 700
+	for _, n := range []int{0, 1, 63, 1000, 20000} {
+		for _, threads := range []int{1, 3, 4} {
+			env := newEnv(core.PlainCPU, false)
+			in := genTuples(env, "in", n, maxKey, 42)
+			want := oracle(in.D)
+			res := sortop.Run(env, in, n, sortop.Options{Threads: threads, MaxKey: maxKey})
+			if res.Rows != n {
+				t.Fatalf("n=%d T=%d: rows=%d", n, threads, res.Rows)
+			}
+			for i := 0; i < n; i++ {
+				if res.Out.D[i] != want[i] {
+					t.Fatalf("n=%d T=%d: out[%d]=%#x want %#x", n, threads, i, res.Out.D[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSortMaxKeyRows: rows carrying the maximum representable key (and
+// keys at or past Options.MaxKey) must not be dropped — the last merge
+// range is unbounded above, so no exclusive splitter bound can lose
+// them.
+func TestSortMaxKeyRows(t *testing.T) {
+	for _, threads := range []int{1, 2, 4} {
+		env := newEnv(core.PlainCPU, false)
+		in := env.Space.AllocU64("in", 8, env.DataRegion())
+		for i := range in.D {
+			k := ^uint32(0) // 0xFFFFFFFF
+			if i%2 == 0 {
+				k--
+			}
+			in.D[i] = mem.MakeTuple(k, uint32(i))
+		}
+		want := oracle(in.D)
+		// Both with a derived bound and with a deliberately low MaxKey:
+		// out-of-domain keys must still all land in the last range.
+		for _, maxKey := range []uint32{0, 10} {
+			cp := env.Space.AllocU64("cp", 8, env.DataRegion())
+			copy(cp.D, in.D)
+			res := sortop.Run(env, cp, 8, sortop.Options{Threads: threads, MaxKey: maxKey})
+			for i := range want {
+				if res.Out.D[i] != want[i] {
+					t.Fatalf("T=%d maxKey=%d: out[%d]=%#x want %#x", threads, maxKey, i, res.Out.D[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSortDerivedMaxKey: MaxKey 0 derives the splitter domain from the
+// data; the result must still be fully sorted.
+func TestSortDerivedMaxKey(t *testing.T) {
+	env := newEnv(core.PlainCPU, false)
+	in := genTuples(env, "in", 5000, 1<<30, 7)
+	want := oracle(in.D)
+	res := sortop.Run(env, in, 5000, sortop.Options{Threads: 4})
+	for i := range want {
+		if res.Out.D[i] != want[i] {
+			t.Fatalf("out[%d]=%#x want %#x", i, res.Out.D[i], want[i])
+		}
+	}
+}
+
+// TestTopKCorrectness: TopK must emit the first k rows of the full sort,
+// in order, for k below, at and above the input size.
+func TestTopKCorrectness(t *testing.T) {
+	const n, maxKey = 20000, 300 // heavy key duplication: ties broken by payload
+	for _, k := range []int{0, 1, 100, 1024, n, n + 5} {
+		for _, threads := range []int{1, 3} {
+			env := newEnv(core.PlainCPU, false)
+			in := genTuples(env, "in", n, maxKey, 99)
+			want := oracle(in.D)
+			res := sortop.TopK(env, in, n, k, sortop.TopKOptions{Threads: threads})
+			wantK := k
+			if wantK > n {
+				wantK = n
+			}
+			if res.K != wantK {
+				t.Fatalf("k=%d T=%d: emitted %d rows, want %d", k, threads, res.K, wantK)
+			}
+			for i := 0; i < wantK; i++ {
+				if res.Out.D[i] != want[i] {
+					t.Fatalf("k=%d T=%d: out[%d]=%#x want %#x", k, threads, i, res.Out.D[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestChunkSortInPlace pins ChunkSort's contract: the range is sorted in
+// place and data outside [lo, hi) is untouched.
+func TestChunkSortInPlace(t *testing.T) {
+	env := newEnv(core.SGXDiE, false)
+	in := genTuples(env, "in", 1000, 1<<20, 5)
+	tmp := env.Space.AllocU64("tmp", 1000, env.DataRegion())
+	before := append([]uint64(nil), in.D...)
+	th := env.NewThread()
+	sortop.ChunkSort(th, in, tmp, 100, 900, 128)
+	want := oracle(before[100:900])
+	for i, v := range want {
+		if in.D[100+i] != v {
+			t.Fatalf("in[%d]=%#x want %#x", 100+i, in.D[100+i], v)
+		}
+	}
+	for _, i := range []int{0, 50, 99, 900, 950, 999} {
+		if in.D[i] != before[i] {
+			t.Fatalf("in[%d] outside the range was modified", i)
+		}
+	}
+}
