@@ -40,6 +40,7 @@ import (
 	"sort"
 	"time"
 
+	"sgxbench/internal/agg"
 	"sgxbench/internal/core"
 	"sgxbench/internal/engine"
 	"sgxbench/internal/join"
@@ -111,6 +112,31 @@ const (
 	sortGateWorkload = query.Q5Name
 )
 
+// The EPC oversubscription degradation gate: at 2x and 4x
+// oversubscription (EPC capacity = working set / ratio) the
+// spill-partitioned operators — GRACE join and the spill group-by, which
+// stage partition runs in untrusted memory through sequential streaming
+// writes — must stay under spillDegradeMax slowdown against their own
+// fully-resident runs, while the naive in-EPC operators (PHT's shared
+// hash table, the single-table direct group-by) collapse past
+// naiveCollapseMin under demand paging. All four curves are ratios of
+// deterministic simulated cycles, so the gate is hard in quick mode too.
+const (
+	spillDegradeMax  = 3.0
+	naiveCollapseMin = 10.0
+)
+
+// spillRatios is the oversubscription axis (0: fully resident baseline).
+var spillRatios = []int64{0, 2, 4}
+
+// spillRatioTag names a ratio in workload identifiers.
+func spillRatioTag(ratio int64) string {
+	if ratio == 0 {
+		return "resident"
+	}
+	return fmt.Sprintf("%dx", ratio)
+}
+
 // serveConfigs is the scenario matrix: every synchronization model
 // crossed with both memory-provisioning modes, at a fixed saturating
 // client/worker shape. Identical in quick and full runs, so the golden
@@ -157,6 +183,7 @@ type report struct {
 	GoldenOK    bool               `json:"golden_ok"`
 	ServeOK     bool               `json:"serve_collapse_ok"`
 	HashSortOK  bool               `json:"hash_vs_sort_ok"`
+	SpillOK     bool               `json:"spill_degradation_ok"`
 	TargetsMet  bool               `json:"targets_met"`
 	TargetNotes []string           `json:"target_notes"`
 }
@@ -281,6 +308,55 @@ func prepJoin(ref bool, setting core.Setting, alg join.Algorithm, scale int64, t
 	}
 }
 
+// prepSpillJoin prepares one join under an EPC capacity of the inputs'
+// working set divided by ratio (0: unlimited — the resident baseline).
+func prepSpillJoin(ref bool, setting core.Setting, alg join.Algorithm, nR, nS int, ratio int64, thr int) runner {
+	var pages int64
+	if ratio > 0 {
+		pages = int64(nR+nS) * rel.TupleBytes / 4096 / ratio
+	}
+	env := core.NewEnv(core.Options{
+		Plat: platform.XeonGold6326().Scaled(256), Setting: setting,
+		Reference: ref, EPCPages: pages,
+	})
+	build, probe := rel.GenFKPair(env.Space, nR, nS, env.DataRegion(), 99)
+	return func() (time.Duration, uint64, uint64, engine.Stats) {
+		start := time.Now()
+		res, err := alg.Run(env, build, probe, join.Options{Threads: thr, Optimized: true})
+		if err != nil {
+			panic(err)
+		}
+		return time.Since(start), res.WallCycles, res.Matches, res.Stats
+	}
+}
+
+// prepSpillAgg prepares the spill-partitioned (or naive direct) group-by
+// over n fact tuples with the given group count, under an EPC capacity
+// of the input working set divided by ratio (0: unlimited).
+func prepSpillAgg(ref bool, setting core.Setting, spill bool, n, groups int, ratio int64, thr int) runner {
+	var pages int64
+	if ratio > 0 {
+		pages = int64(n) * 8 / 4096 / ratio
+	}
+	env := core.NewEnv(core.Options{
+		Plat: platform.XeonGold6326().Scaled(256), Setting: setting,
+		Reference: ref, EPCPages: pages,
+	})
+	_, fact := rel.GenFKPair(env.Space, groups, n, env.DataRegion(), 99)
+	ins := []agg.Input{{Tup: fact.Tup, N: n}}
+	opt := agg.Options{Threads: thr, Sel: agg.ByKey, Groups: groups}
+	return func() (time.Duration, uint64, uint64, engine.Stats) {
+		start := time.Now()
+		var res *agg.Result
+		if spill {
+			res = agg.SpillRun(env, ins, opt)
+		} else {
+			res = agg.DirectRun(env, ins, opt)
+		}
+		return time.Since(start), res.WallCycles, res.Check, res.Stats
+	}
+}
+
 // prepPipeline prepares one end-to-end query pipeline: the star-schema
 // dataset and all inter-stage scratch are allocated once; every
 // repetition re-runs the whole plan (scan → [join →] aggregation) on a
@@ -349,7 +425,10 @@ func main() {
 	qDim := 1 << 16
 	qFact := 2 << 20
 	qMaxRows := 1 << 20
-	q3Fact := 1 << 20 // unfiltered join-agg: keep the probe side bounded
+	q3Fact := 1 << 20     // unfiltered join-agg: keep the probe side bounded
+	spillJoinScale := 128 // 800 KB join 3.2 MB against a scaled-down EPC
+	spillAggN := 1 << 19
+	spillAggGroups := 1 << 16
 	reps := 5
 	joinReps := 5
 	if *quick {
@@ -363,6 +442,9 @@ func main() {
 		qFact = 1 << 16
 		qMaxRows = 1 << 14
 		q3Fact = 1 << 15
+		spillJoinScale = 512
+		spillAggN = 1 << 17
+		spillAggGroups = 1 << 14
 		reps = 1
 		joinReps = 1
 	}
@@ -371,6 +453,8 @@ func main() {
 	q3, _ := query.ByName(query.Q3Name)
 	q4, _ := query.ByName(query.Q4Name)
 	q5, _ := query.ByName(query.Q5Name)
+	q2s, _ := query.ByName(query.Q2SName)
+	q3s, _ := query.ByName(query.Q3SName)
 
 	// --- Sweep: the fixed suite across all four settings, fast path ---
 	rep.Equivalent = true
@@ -400,6 +484,8 @@ func main() {
 			{query.Q3Name, func() runner { return prepPipeline(false, s, q3, qDim, q3Fact, 0, *threads) }, joinReps, true},
 			{query.Q4Name, func() runner { return prepPipeline(false, s, q4, qDim, qFact, qMaxRows, *threads) }, joinReps, true},
 			{query.Q5Name, func() runner { return prepPipeline(false, s, q5, qDim, q3Fact, 0, *threads) }, joinReps, true},
+			{query.Q2SName, func() runner { return prepPipeline(false, s, q2s, qDim, qFact, qMaxRows, *threads) }, joinReps, true},
+			{query.Q3SName, func() runner { return prepPipeline(false, s, q3s, qDim, q3Fact, 0, *threads) }, joinReps, true},
 		}
 		for _, w := range wls {
 			host, cycs, chks, stats := measure(w.prep(), w.n)
@@ -450,6 +536,92 @@ func main() {
 		rep.TargetNotes = append(rep.TargetNotes, note)
 		fmt.Println("== hash vs sort ==")
 		fmt.Println("  " + note)
+	}
+
+	// --- Spill: EPC oversubscription degradation sweep (SGX DiE) ---
+	// Every (operator, ratio) point runs once on each engine path: the
+	// fast run feeds the sweep and the golden gate, the reference run must
+	// reproduce it bit for bit — including the demand-paging fault,
+	// eviction and paging-cycle counters — and oversubscribed points must
+	// actually fault. The degradation gate then compares each operator's
+	// oversubscribed points against its own resident baseline.
+	rep.SpillOK = true
+	fmt.Println("== spill (EPC oversubscription, SGX DiE) ==")
+	{
+		die := core.SGXDiE
+		nR := rel.RowsForMB(100) / spillJoinScale
+		nS := rel.RowsForMB(400) / spillJoinScale
+		type spillWL struct {
+			name  string
+			spill bool // spill-aware operator (gated < spillDegradeMax)
+			prep  func(ref bool, ratio int64) runner
+		}
+		wls := []spillWL{
+			{"spill.join.grace", true, func(ref bool, ratio int64) runner {
+				return prepSpillJoin(ref, die, join.NewGrace(), nR, nS, ratio, *threads)
+			}},
+			{"spill.join.pht", false, func(ref bool, ratio int64) runner {
+				return prepSpillJoin(ref, die, join.NewPHT(), nR, nS, ratio, *threads)
+			}},
+			{"spill.agg", true, func(ref bool, ratio int64) runner {
+				return prepSpillAgg(ref, die, true, spillAggN, spillAggGroups, ratio, *threads)
+			}},
+			{"spill.agg.direct", false, func(ref bool, ratio int64) runner {
+				return prepSpillAgg(ref, die, false, spillAggN, spillAggGroups, ratio, *threads)
+			}},
+		}
+		sim := map[string]uint64{}
+		for _, w := range wls {
+			for _, ratio := range spillRatios {
+				name := w.name + "@" + spillRatioTag(ratio)
+				rHost, rCycs, rChks, rStats := measure(w.prep(true, ratio), 1)
+				fHost, fCycs, fChks, fStats := measure(w.prep(false, ratio), 1)
+				_ = rHost
+				if rCycs[0] != fCycs[0] || rChks[0] != fChks[0] || rStats[0] != fStats[0] {
+					fmt.Printf("  SPILL EQUIVALENCE FAILURE: %s differs between engine paths\n", name)
+					rep.Equivalent = false
+				}
+				if ratio > 0 && fStats[0].EPCFaults == 0 {
+					fmt.Printf("  SPILL GATE FAILURE: %s never demand-paged\n", name)
+					rep.SpillOK = false
+				}
+				if ratio == 0 && fStats[0].EPCFaults != 0 {
+					fmt.Printf("  SPILL GATE FAILURE: resident %s faulted %d times\n", name, fStats[0].EPCFaults)
+					rep.SpillOK = false
+				}
+				sim[name] = fCycs[0]
+				rep.Sweep = append(rep.Sweep, wlResult{name, die.String(), "fast", fHost.Nanoseconds(), 1, fCycs[0], fChks[0], true, fStats[0]})
+				fmt.Printf("  %-24s host=%-12v simMcyc=%-8d faults=%d evictions=%d\n",
+					name, fHost.Round(time.Millisecond), fCycs[0]/1e6, fStats[0].EPCFaults, fStats[0].EPCEvictions)
+			}
+		}
+		for _, w := range wls {
+			base := sim[w.name+"@resident"]
+			for _, ratio := range spillRatios {
+				if ratio == 0 {
+					continue
+				}
+				slow := float64(sim[w.name+"@"+spillRatioTag(ratio)]) / float64(base)
+				var note string
+				if w.spill {
+					note = fmt.Sprintf("spill gate: %s at %dx oversubscription %.2fx slowdown (want < %.1fx)",
+						w.name, ratio, slow, spillDegradeMax)
+					if !(slow < spillDegradeMax) {
+						rep.SpillOK = false
+						note += " MISS"
+					}
+				} else {
+					note = fmt.Sprintf("spill gate: %s at %dx oversubscription %.2fx slowdown (want > %.1fx naive collapse)",
+						w.name, ratio, slow, naiveCollapseMin)
+					if !(slow > naiveCollapseMin) {
+						rep.SpillOK = false
+						note += " MISS"
+					}
+				}
+				rep.TargetNotes = append(rep.TargetNotes, note)
+				fmt.Println("  " + note)
+			}
+		}
 	}
 
 	// --- Serve: multi-query serving scenarios over the worker pool ---
@@ -554,6 +726,8 @@ func main() {
 		{query.Q3Name, func(ref bool) runner { return prepPipeline(ref, die, q3, qDim, q3Fact, 0, 1) }, joinReps},
 		{query.Q4Name, func(ref bool) runner { return prepPipeline(ref, die, q4, qDim, qFact, qMaxRows, 1) }, joinReps},
 		{query.Q5Name, func(ref bool) runner { return prepPipeline(ref, die, q5, qDim, q3Fact, 0, 1) }, joinReps},
+		{query.Q2SName, func(ref bool) runner { return prepPipeline(ref, die, q2s, qDim, qFact, qMaxRows, 1) }, joinReps},
+		{query.Q3SName, func(ref bool) runner { return prepPipeline(ref, die, q3s, qDim, q3Fact, 0, 1) }, joinReps},
 	}
 	for _, w := range sps {
 		rHost, rCycs, rChks, rStats := measure(w.prep(true), w.n)
@@ -654,7 +828,7 @@ func main() {
 	}
 	f.Close()
 	fmt.Printf("wrote %s\n", *out)
-	if !rep.Equivalent || !rep.GoldenOK || !rep.ServeOK || !rep.HashSortOK {
+	if !rep.Equivalent || !rep.GoldenOK || !rep.ServeOK || !rep.HashSortOK || !rep.SpillOK {
 		os.Exit(1)
 	}
 }

@@ -8,6 +8,7 @@
 //	go run ./cmd/diag [-alg RHO] [-setting plain|plainm|doe|die] [-scale 128] [-threads 16] [-opt]
 //	go run ./cmd/diag -query q2.filter-join-agg -setting die [-threads 4]
 //	go run ./cmd/diag -serve -setting die [-sync mutex] [-mem dyn] [-clients 32] [-workers 16]
+//	go run ./cmd/diag -epc -setting die [-ratio 2] [-scale 512] [-threads 4]
 package main
 
 import (
@@ -15,7 +16,9 @@ import (
 	"fmt"
 	"os"
 
+	"sgxbench/internal/agg"
 	"sgxbench/internal/core"
+	"sgxbench/internal/engine"
 	"sgxbench/internal/exec"
 	"sgxbench/internal/join"
 	"sgxbench/internal/platform"
@@ -41,6 +44,10 @@ var (
 	syncName  = flag.String("sync", "mutex", "serve: dispatch queue sync model: mutex, spin or lockfree")
 	memName   = flag.String("mem", "pre", "serve: memory mode: pre (pre-sized) or dyn (EDMM / minor faults)")
 	think     = flag.Uint64("think", 0, "serve: client think time between requests (cycles)")
+
+	// EPC oversubscription mode (-epc): the demand-paging diagnostics.
+	epcMode  = flag.Bool("epc", false, "run the spill/naive operator pairs under a capacity-limited enclave and print the paging breakdown")
+	epcRatio = flag.Int64("ratio", 2, "epc: oversubscription ratio (EPC capacity = working set / ratio; 0 = unlimited)")
 )
 
 func parseSetting(s string) (core.Setting, bool) {
@@ -87,6 +94,10 @@ func main() {
 		runServe(plat, setting)
 		return
 	}
+	if *epcMode {
+		runEPC(plat, setting)
+		return
+	}
 
 	env := core.NewEnv(core.Options{Plat: plat, Setting: setting})
 
@@ -127,6 +138,97 @@ func main() {
 	fmt.Printf("%s %s: wall=%d tput=%.1f M/s build=%d probe=%d\n",
 		alg.Name(), setting, res.WallCycles, res.Throughput(env, nR, nS)/1e6, res.BuildCycles, res.ProbeCycles)
 	printPhases(res.Phases)
+}
+
+// runEPC runs the EPC oversubscription operator pairs — the
+// spill-partitioned GRACE join and spill group-by against their naive
+// counterparts (PHT's shared table, the single-table direct group-by) —
+// under an enclave sized at workingSet / -ratio, and prints the paging
+// breakdown: capacity, per-thread budget, residency at completion,
+// fault/eviction/paging-cycle totals and the per-phase fault profile.
+func runEPC(plat *platform.Platform, setting core.Setting) {
+	nR := rel.RowsForMB(100) / int(*scale)
+	nS := rel.RowsForMB(400) / int(*scale)
+	pagesFor := func(ws int64) int64 {
+		if *epcRatio <= 0 {
+			return 0
+		}
+		return ws / *epcRatio
+	}
+	newEnv := func(pages int64) *core.Env {
+		return core.NewEnv(core.Options{Plat: plat, Setting: setting, EPCPages: pages})
+	}
+	type opResult struct {
+		wall   uint64
+		phases []exec.PhaseStats
+		stats  engine.Stats
+	}
+	type op struct {
+		name string
+		ws   int64 // working-set pages
+		run  func(env *core.Env) (opResult, *exec.Group)
+	}
+	wsJoin := int64(nR+nS) * rel.TupleBytes / 4096
+	wsAgg := int64(nS) * 8 / 4096
+	aggInputs := func(env *core.Env) []agg.Input {
+		_, fact := rel.GenFKPair(env.Space, nR, nS, env.DataRegion(), 1234)
+		return []agg.Input{{Tup: fact.Tup, N: nS}}
+	}
+	ops := []op{
+		{"join.grace (spill)", wsJoin, func(env *core.Env) (opResult, *exec.Group) {
+			g := env.NewGroup(*threads, nil)
+			build, probe := rel.GenFKPair(env.Space, nR, nS, env.DataRegion(), 1234)
+			res, err := join.NewGrace().RunOn(env, g, build, probe, join.Options{Optimized: true})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "diag: %v\n", err)
+				os.Exit(1)
+			}
+			return opResult{res.WallCycles, res.Phases, res.Stats}, g
+		}},
+		{"join.pht (naive)", wsJoin, func(env *core.Env) (opResult, *exec.Group) {
+			g := env.NewGroup(*threads, nil)
+			build, probe := rel.GenFKPair(env.Space, nR, nS, env.DataRegion(), 1234)
+			res, err := join.NewPHT().RunOn(env, g, build, probe, join.Options{Optimized: true})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "diag: %v\n", err)
+				os.Exit(1)
+			}
+			return opResult{res.WallCycles, res.Phases, res.Stats}, g
+		}},
+		{"agg.spill", wsAgg, func(env *core.Env) (opResult, *exec.Group) {
+			g := env.NewGroup(*threads, nil)
+			res := agg.SpillRunOn(env, g, aggInputs(env), agg.Options{Sel: agg.ByKey, Groups: nR})
+			return opResult{res.WallCycles, res.Phases, res.Stats}, g
+		}},
+		{"agg.direct (naive)", wsAgg, func(env *core.Env) (opResult, *exec.Group) {
+			g := env.NewGroup(1, nil)
+			res := agg.DirectRunOn(env, g, aggInputs(env), agg.Options{Sel: agg.ByKey, Groups: nR})
+			return opResult{res.WallCycles, res.Phases, res.Stats}, g
+		}},
+	}
+	fmt.Printf("EPC oversubscription diagnostics: %s, scale %d, ratio %dx, %d threads\n",
+		setting, *scale, *epcRatio, *threads)
+	for _, o := range ops {
+		pages := pagesFor(o.ws)
+		env := newEnv(pages)
+		res, g := o.run(env)
+		fmt.Printf("\n%-20s ws=%d pages  epc=%d pages  wall=%d cycles\n", o.name, o.ws, pages, res.wall)
+		budget, resident := 0, 0
+		for _, t := range g.Threads {
+			budget = t.EPCBudgetPages()
+			resident += t.EPCResident()
+		}
+		fmt.Printf("  budget=%d pages/thread  resident(end)=%d pages\n", budget, resident)
+		fmt.Printf("  faults=%d evictions=%d pagingCycles=%d\n",
+			res.stats.EPCFaults, res.stats.EPCEvictions, res.stats.EPCPagingCycles)
+		for _, p := range res.phases {
+			if p.Agg.EPCFaults == 0 {
+				continue
+			}
+			fmt.Printf("  phase %-12s wall=%9d faults=%7d evictions=%7d pagingCycles=%d\n",
+				p.Name, p.WallCycles, p.Agg.EPCFaults, p.Agg.EPCEvictions, p.Agg.EPCPagingCycles)
+		}
+	}
 }
 
 // runServe calibrates the pipelines on the -scale'd platform and

@@ -254,7 +254,7 @@ func RunOn(env *core.Env, g *exec.Group, ins []Input, opt Options) *Result {
 	g.Phase("Agg.Hist", func(t *engine.Thread, id int) {
 		lo, hi := chunk(n, T, id)
 		forSegments(ins, lo, hi, func(seg Input, sLo, sHi int) {
-			histSeg(t, seg.Tup, sLo, sHi, hist, id*P, opt.Sel, pBits)
+			histSeg(t, seg.Tup, sLo, sHi, hist, id*P, opt.Sel, 0, pBits)
 		})
 	})
 
@@ -287,7 +287,7 @@ func RunOn(env *core.Env, g *exec.Group, ins []Input, opt Options) *Result {
 		}
 		lo, hi := chunk(n, T, id)
 		forSegments(ins, lo, hi, func(seg Input, sLo, sHi int) {
-			scatterSeg(t, seg.Tup, sLo, sHi, parts, cur, id*P, opt.Sel, pBits)
+			scatterSeg(t, seg.Tup, sLo, sHi, parts, cur, id*P, opt.Sel, 0, pBits)
 		})
 	})
 	res.PartStart[P] = n

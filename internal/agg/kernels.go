@@ -12,13 +12,21 @@ import (
 // the next hash bits below the partition digit, so partitions do not
 // collapse their tables into a handful of buckets.
 
+// digitOf returns the bits-wide hash-digit window at the given shift
+// below the top of the group key's hash: the generalization that lets
+// the spill variant refine partitions recursively, one consecutive
+// window per pass.
+func digitOf(gk uint32, shift, bits uint) int {
+	return int((hashKey(gk) << shift) >> (32 - bits))
+}
+
 // partOf returns the partition of a group key.
 func partOf(gk uint32, pBits uint) int { return int(hashKey(gk) >> (32 - pBits)) }
 
 // bucketOf returns the in-partition bucket index (bBits wide) of a
 // group key, drawn from the hash bits below the partition digit.
 func bucketOf(gk uint32, pBits, bBits uint) int {
-	return int((hashKey(gk) << pBits) >> (32 - bBits))
+	return digitOf(gk, pBits, bBits)
 }
 
 // histSeg counts the partition digits of in[lo:hi] into
@@ -27,7 +35,7 @@ func bucketOf(gk uint32, pBits, bBits uint) int {
 // vectorized hash, then the bin load+increment pairs as one
 // read-modify-write scatter (Listing 1's optimized loop, with the bin
 // address derived from a hash instead of a radix mask).
-func histSeg(t *engine.Thread, in *mem.U64Buf, lo, hi int, hist *mem.U32Buf, histBase int, sel Sel, pBits uint) {
+func histSeg(t *engine.Thread, in *mem.U64Buf, lo, hi int, hist *mem.U32Buf, histBase int, sel Sel, shift, bits uint) {
 	var lineTok engine.Tok
 	var toks [aggUnroll]engine.Tok
 	var offs [aggUnroll]int64
@@ -38,7 +46,7 @@ func histSeg(t *engine.Thread, in *mem.U64Buf, lo, hi int, hist *mem.U32Buf, his
 		t.Work(1) // vector multiply+shift over 8 lanes
 		vTok := engine.After(lineTok, hashCost)
 		for j := 0; j < aggUnroll; j++ {
-			p := partOf(sel.Group(in.D[i+j]), pBits)
+			p := digitOf(sel.Group(in.D[i+j]), shift, bits)
 			toks[j] = engine.After(vTok, 1) // lane extract
 			offs[j] = hist.Off(histBase + p)
 			hist.D[histBase+p]++
@@ -48,7 +56,7 @@ func histSeg(t *engine.Thread, in *mem.U64Buf, lo, hi int, hist *mem.U32Buf, his
 	// Scalar tail.
 	for ; i < hi; i++ {
 		tup, tok := engine.LoadU64(t, in, i, 0)
-		p := partOf(sel.Group(tup), pBits)
+		p := digitOf(sel.Group(tup), shift, bits)
 		idxTok := engine.After(tok, hashCost)
 		cur, curTok := engine.LoadU32(t, hist, histBase+p, idxTok)
 		engine.StoreU32(t, hist, histBase+p, cur+1, idxTok, engine.After(curTok, 1))
@@ -59,7 +67,7 @@ func histSeg(t *engine.Thread, in *mem.U64Buf, lo, hi int, hist *mem.U32Buf, his
 // the per-partition cursors cur[curBase+p] — the unrolled radix copy:
 // batched tuple loads, one cursor read-modify-write scatter, then the
 // tuple stores whose addresses came from the cursor loads.
-func scatterSeg(t *engine.Thread, in *mem.U64Buf, lo, hi int, parts *mem.U64Buf, cur *mem.U32Buf, curBase int, sel Sel, pBits uint) {
+func scatterSeg(t *engine.Thread, in *mem.U64Buf, lo, hi int, parts *mem.U64Buf, cur *mem.U32Buf, curBase int, sel Sel, shift, bits uint) {
 	var lineTok engine.Tok
 	var tToks, pToks, posToks [aggUnroll]engine.Tok
 	var curOffs, outOffs [aggUnroll]int64
@@ -71,7 +79,7 @@ func scatterSeg(t *engine.Thread, in *mem.U64Buf, lo, hi int, parts *mem.U64Buf,
 		vTok := engine.After(lineTok, hashCost)
 		for j := 0; j < aggUnroll; j++ {
 			tup := in.D[i+j]
-			p := partOf(sel.Group(tup), pBits)
+			p := digitOf(sel.Group(tup), shift, bits)
 			tToks[j] = engine.After(lineTok, 1) // lane extract
 			pToks[j] = engine.After(vTok, 1)
 			curOffs[j] = cur.Off(curBase + p)
@@ -86,7 +94,7 @@ func scatterSeg(t *engine.Thread, in *mem.U64Buf, lo, hi int, parts *mem.U64Buf,
 	// Scalar tail.
 	for ; i < hi; i++ {
 		tup, tok := engine.LoadU64(t, in, i, 0)
-		p := partOf(sel.Group(tup), pBits)
+		p := digitOf(sel.Group(tup), shift, bits)
 		pTok := engine.After(tok, hashCost)
 		pos, posTok := engine.LoadU32(t, cur, curBase+p, pTok)
 		engine.StoreU64(t, parts, int(pos), tup, posTok, tok)
@@ -241,10 +249,15 @@ func (w *worker) aggregatePartition(t *engine.Thread, parts *mem.U64Buf, lo, hi 
 	if nb > w.buckets.Len() {
 		nb = w.buckets.Len()
 	}
-	bBits := log2(nb)
 	w.gen++
-	var nG uint32
+	return int(w.aggregateRun(t, parts, lo, hi, sel, pBits, log2(nb), 0))
+}
 
+// aggregateRun is aggregatePartition's inner loop without the table
+// reset: it continues from nG already-present groups, so callers can
+// fold several input runs into one table (the naive Direct baseline
+// streams every segment through a single full-domain table this way).
+func (w *worker) aggregateRun(t *engine.Thread, parts *mem.U64Buf, lo, hi int, sel Sel, pBits, bBits uint, nG uint32) uint32 {
 	var lineToks [1]engine.Tok
 	var hToks, headToks [aggUnroll]engine.Tok
 	var bOffs [aggUnroll]int64
@@ -310,7 +323,7 @@ func (w *worker) aggregatePartition(t *engine.Thread, parts *mem.U64Buf, lo, hi 
 		tup, tok := engine.LoadU64(t, parts, i, 0)
 		nG = w.aggregateOne(t, tup, tok, sel, bucketOf(sel.Group(tup), pBits, bBits), nG)
 	}
-	return int(nG)
+	return nG
 }
 
 // emit copies the partition's nG group entries to the output array at

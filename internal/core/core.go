@@ -84,6 +84,11 @@ type Options struct {
 	OS      sgx.OSCosts     // default: sgx.DefaultOSCosts
 	SGX     engine.SGXCosts // default: engine.DefaultSGXCosts
 	Space   *mem.Space      // default: fresh space per Env
+	// EPCPages caps the enclave's EPC at this many 4 KiB pages; data
+	// accesses beyond it demand-page with eviction (the oversubscription
+	// regime). 0 means unlimited — the default, and the behaviour of every
+	// setting whose data is not EPC-resident.
+	EPCPages int64
 	// Reference selects the engine's per-op reference path instead of the
 	// batched fast path. Simulated results and statistics are identical
 	// by construction (golden-tested); only host wall-clock differs.
@@ -102,6 +107,10 @@ type Env struct {
 	Reference bool // per-op reference engine path (see Options.Reference)
 	Alloc     *sgx.Allocator
 	Enclave   *sgx.Enclave // nil outside enclaves
+	// EPC is the enclave's finite EPC capacity model (nil: unlimited).
+	EPC *engine.EPCDomain
+	// EPCPages echoes Options.EPCPages (0: unlimited), for diagnostics.
+	EPCPages int64
 }
 
 // NewEnv builds an environment for the given options.
@@ -134,6 +143,8 @@ func NewEnv(o Options) *Env {
 		SGX:       o.SGX,
 		Node:      o.Node,
 		Reference: o.Reference,
+		EPC:       sgx.NewEPCDomain(o.EPCPages, o.OS),
+		EPCPages:  o.EPCPages,
 	}
 	e.Alloc = sgx.NewAllocator(o.Space, e.DataRegion(), policy, o.OS)
 	if o.Setting.InEnclave() {
@@ -144,6 +155,18 @@ func NewEnv(o Options) *Env {
 
 // DataRegion returns where operator data is placed under this setting.
 func (e *Env) DataRegion() mem.Region { return e.RegionOn(e.Node) }
+
+// SpillRegion returns where spill-partitioned operators stage their
+// partition runs. When the EPC is capacity-limited the runs are staged in
+// untrusted memory — spilled partitions leave the enclave through
+// sequential streaming writes instead of churning the paged EPC — else
+// staging stays in the normal data region.
+func (e *Env) SpillRegion() mem.Region {
+	if e.EPCPages > 0 {
+		return mem.Region{Node: e.Node, Kind: mem.Untrusted}
+	}
+	return e.DataRegion()
+}
 
 // RegionOn returns the data region pinned to a specific node.
 func (e *Env) RegionOn(node int) mem.Region {
@@ -156,7 +179,7 @@ func (e *Env) RegionOn(node int) mem.Region {
 
 // EngineConfig returns the thread construction config for this Env.
 func (e *Env) EngineConfig() engine.Config {
-	return engine.Config{Plat: e.Plat, Mode: e.Mode, Costs: e.SGX, Node: e.Node, Reference: e.Reference}
+	return engine.Config{Plat: e.Plat, Mode: e.Mode, Costs: e.SGX, Node: e.Node, Reference: e.Reference, EPC: e.EPC}
 }
 
 // NewGroup creates a thread group homed on e.Node. nodeOf may remap

@@ -416,4 +416,5 @@ func (t *Thread) ResetMemoryState() {
 		t.sbuf[i] = 0
 	}
 	t.storeBarrier = 0
+	t.resetEPCState()
 }

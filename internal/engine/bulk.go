@@ -102,10 +102,14 @@ func (t *Thread) fastLoadRun(b *mem.Buffer, off, elem int64, n int, dep Tok, tok
 	remote := node != t.Node
 	epc := b.Reg.Kind == mem.EPC
 	paced := t.pacedAdvance(epc, remote)
+	paging := t.epcDom != nil && epc
 	t.st.Loads += uint64(n)
 	var done Tok
 	var sl *stream // stream slot the run is extending (nil: re-resolve)
 	for i := 0; i < n; i++ {
+		if paging {
+			t.epcTouch(addr >> t.pageShift)
+		}
 		issue := Tok(t.issueTick())
 		if dep > issue {
 			issue = dep
@@ -217,9 +221,16 @@ func (t *Thread) StoreLinesNT(b *mem.Buffer, off int64, nLines int, addrDep, dat
 	if bNode < 0 || bNode > 1 {
 		bNode = 0
 	}
+	paging := t.epcDom != nil && epc
 	t.st.Stores += uint64(nLines)
 	t.st.NTStores += uint64(nLines)
 	for i := 0; i < nLines; i++ {
+		// Shared by both engine paths (this loop is the reference
+		// decomposition too), so the touch order is identical by
+		// construction.
+		if paging {
+			t.epcTouch(addr >> t.pageShift)
+		}
 		issue := Tok(t.issueTick())
 		addrKnown := maxTok(issue, addrDep)
 		if uint64(addrKnown) > t.storeBarrier {
@@ -283,10 +294,14 @@ func (t *Thread) StoreRun(b *mem.Buffer, off, elem int64, n int, addrDep, dataDe
 	remote := node != t.Node
 	epc := b.Reg.Kind == mem.EPC
 	pacedLat := t.pacedAdvance(epc, remote)
+	paging := t.epcDom != nil && epc
 	t.st.Stores += uint64(n)
 	var fwd Tok
 	var sl *stream
 	for i := 0; i < n; i++ {
+		if paging {
+			t.epcTouch(addr >> t.pageShift)
+		}
 		issue := Tok(t.issueTick())
 		addrKnown := maxTok(issue, addrDep)
 		if uint64(addrKnown) > t.storeBarrier {
@@ -390,6 +405,9 @@ func (t *Thread) fastLoadOne(b *mem.Buffer, off int64, dep Tok) Tok {
 // The buffer placement (node, epc, remote) is resolved by the caller so
 // batched invocations hoist it out of their loops.
 func (t *Thread) fastLoadAt(b *mem.Buffer, addr uint64, node int, epc, remote bool, dep Tok) Tok {
+	if t.epcDom != nil && epc {
+		t.epcTouch(addr >> t.pageShift)
+	}
 	issue := Tok(t.issueTick())
 	if dep > issue {
 		issue = dep
@@ -449,6 +467,9 @@ func (t *Thread) fastStoreOne(b *mem.Buffer, off int64, addrDep, dataDep Tok) To
 // fastStoreAt is the fused store fast path shared by Store, StoreScatter,
 // RMWScatter and CASLoad, the store counterpart of fastLoadAt.
 func (t *Thread) fastStoreAt(b *mem.Buffer, addr uint64, node int, epc, remote bool, addrDep, dataDep Tok) Tok {
+	if t.epcDom != nil && epc {
+		t.epcTouch(addr >> t.pageShift)
+	}
 	issue := Tok(t.issueTick())
 	addrKnown := maxTok(issue, addrDep)
 	if uint64(addrKnown) > t.storeBarrier {

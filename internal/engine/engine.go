@@ -149,6 +149,10 @@ type Stats struct {
 	RandomFills  uint64    // latency-bound line fills
 	EvictedDirty uint64    // dirty L3 evictions (writeback traffic)
 	NTStores     uint64    // non-temporal line stores (cache-bypassing)
+
+	EPCFaults       uint64 // demand-paging faults on EPC data pages
+	EPCEvictions    uint64 // EPC pages written back to make room
+	EPCPagingCycles uint64 // cycles spent in the paging protocol
 }
 
 // Add accumulates other into s (Cycles is maxed, not summed).
@@ -174,6 +178,9 @@ func (s *Stats) Add(o Stats) {
 	s.RandomFills += o.RandomFills
 	s.EvictedDirty += o.EvictedDirty
 	s.NTStores += o.NTStores
+	s.EPCFaults += o.EPCFaults
+	s.EPCEvictions += o.EPCEvictions
+	s.EPCPagingCycles += o.EPCPagingCycles
 }
 
 // Sub returns the field-wise difference s - o, where o is an earlier
@@ -201,6 +208,9 @@ func (s Stats) Sub(o Stats) Stats {
 	s.RandomFills -= o.RandomFills
 	s.EvictedDirty -= o.EvictedDirty
 	s.NTStores -= o.NTStores
+	s.EPCFaults -= o.EPCFaults
+	s.EPCEvictions -= o.EPCEvictions
+	s.EPCPagingCycles -= o.EPCPagingCycles
 	return s
 }
 
@@ -280,6 +290,23 @@ type Thread struct {
 	// noPage marks it empty.
 	mruLine uint64
 
+	// EPC demand-paging state (nil/empty when no EPCDomain is configured).
+	// Residency is tracked per thread over the thread's private budget
+	// (TotalPages / EPCShare): each thread faults its own working set in,
+	// which keeps the model race-free and bit-reproducible under any
+	// goroutine schedule. epcRing/epcRef form the CLOCK (second-chance)
+	// ring, epcIdx maps a resident page to its ring slot, and epcLast is a
+	// one-entry memo mirroring mruLine: a re-touch of the most recent page
+	// is a guaranteed no-op, which is what lets the fast path's same-line
+	// skip stay bit-identical to the reference decomposition.
+	epcDom   *EPCDomain
+	epcRing  []uint64
+	epcRef   []bool
+	epcIdx   map[uint64]int
+	epcHand  int
+	epcCount int
+	epcLast  uint64
+
 	ref       bool      // per-op reference mode (golden-test baseline)
 	pageShift uint      // log2(Plat.PageBytes)
 	pacedLat  [4]uint64 // precomputed stream-pacing cycle advance, idx = remote<<1|epc
@@ -297,6 +324,14 @@ type Config struct {
 	Costs   SGXCosts
 	Node    int
 	L3Share int // number of threads sharing the socket L3 (>=1)
+	// EPC enables the demand-paging model: accesses to mem.EPC data pages
+	// fault against a finite resident-set budget (see EPCDomain). nil
+	// disables paging entirely — the pre-oversubscription behaviour.
+	EPC *EPCDomain
+	// EPCShare is the number of threads sharing the enclave's EPC capacity
+	// (>= 1). Unlike L3Share it spans sockets: the EPC limit is per
+	// enclave, not per socket.
+	EPCShare int
 	// Reference selects the per-op reference implementation of the memory
 	// model: bulk APIs decompose into individual Load/Store calls and all
 	// probes use the original timestamp-LRU structures. Simulated results
@@ -332,6 +367,21 @@ func NewThread(cfg Config, id int) *Thread {
 	}
 	t.lastPage = noPage
 	t.mruLine = noPage
+	t.epcLast = noPage
+	if cfg.EPC != nil && cfg.EPC.TotalPages > 0 {
+		share := int64(cfg.EPCShare)
+		if share < 1 {
+			share = 1
+		}
+		budget := cfg.EPC.TotalPages / share
+		if budget < 1 {
+			budget = 1
+		}
+		t.epcDom = cfg.EPC
+		t.epcRing = make([]uint64, budget)
+		t.epcRef = make([]bool, budget)
+		t.epcIdx = make(map[uint64]int, budget)
+	}
 	if t.ref {
 		t.rl1 = cache.NewRef(cfg.Plat.L1D)
 		t.rl2 = cache.NewRef(cfg.Plat.L2)
@@ -456,6 +506,9 @@ func (t *Thread) Load(b *mem.Buffer, off, size int64, dep Tok) Tok {
 // loadStep is the per-op reference path of Load (the fast path dispatches
 // to fastLoadOne before reaching it).
 func (t *Thread) loadStep(b *mem.Buffer, off int64, dep Tok) Tok {
+	if t.epcDom != nil && b.Reg.Kind == mem.EPC {
+		t.epcTouch((b.Base + uint64(off)) >> t.pageShift)
+	}
 	issue := maxTok(Tok(t.issueTick()), dep)
 	issue = t.loadGate(issue)
 	t.st.Loads++
@@ -494,6 +547,9 @@ func (t *Thread) Store(b *mem.Buffer, off, size int64, addrDep, dataDep Tok) Tok
 // storeStep is the per-op reference path of Store (the fast path
 // dispatches to fastStoreOne before reaching it).
 func (t *Thread) storeStep(b *mem.Buffer, off int64, addrDep, dataDep Tok) Tok {
+	if t.epcDom != nil && b.Reg.Kind == mem.EPC {
+		t.epcTouch((b.Base + uint64(off)) >> t.pageShift)
+	}
 	issue := Tok(t.issueTick())
 	addrKnown := maxTok(issue, addrDep)
 	if uint64(addrKnown) > t.storeBarrier {

@@ -48,6 +48,20 @@ func TestStatsSubCoversAllFields(t *testing.T) {
 	}
 }
 
+// TestStatsPagingCounters pins the demand-paging counters by name: the
+// oversubscription layers (exec wall accounting, the spill operators'
+// golden gates, cmd/diag -epc) all read these fields directly, so a
+// rename or removal must be a deliberate cross-layer change.
+func TestStatsPagingCounters(t *testing.T) {
+	v := reflect.ValueOf(engine.Stats{})
+	for _, name := range []string{"EPCFaults", "EPCEvictions", "EPCPagingCycles"} {
+		f := v.FieldByName(name)
+		if !f.IsValid() || f.Kind() != reflect.Uint64 {
+			t.Errorf("engine.Stats lacks uint64 paging counter %s", name)
+		}
+	}
+}
+
 // TestStatsAddSubRoundTrip pins the snapshot-delta semantics exec relies
 // on: (a.Sub(b)) restores b's counters when the phase aggregate is summed
 // back — i.e. Sub is the exact inverse of field-wise accumulation.

@@ -24,6 +24,7 @@ import (
 type Group struct {
 	Plat    *platform.Platform
 	Threads []*engine.Thread
+	epc     *engine.EPCDomain // enclave EPC capacity model (nil: unlimited)
 	clock   uint64
 	phases  []PhaseStats
 }
@@ -49,11 +50,14 @@ func NewGroup(cfg engine.Config, n int, nodeOf func(i int) int) *Group {
 	for i := 0; i < n; i++ {
 		perNode[nodeOf(i)]++
 	}
-	g := &Group{Plat: cfg.Plat, Threads: make([]*engine.Thread, n)}
+	g := &Group{Plat: cfg.Plat, Threads: make([]*engine.Thread, n), epc: cfg.EPC}
 	for i := 0; i < n; i++ {
 		c := cfg
 		c.Node = nodeOf(i)
 		c.L3Share = perNode[c.Node]
+		// The EPC is per enclave, not per socket: all n threads share it
+		// regardless of the node mapping.
+		c.EPCShare = n
 		g.Threads[i] = engine.NewThread(c, i)
 	}
 	return g
@@ -119,6 +123,11 @@ func (g *Group) Phase(name string, body func(t *engine.Thread, id int)) PhaseSta
 		wall = need
 		ps.BWBound = true
 	}
+	// Demand paging serializes across the enclave on the page-table lock,
+	// exactly like EDMM commits: the phase cannot finish before the kernel
+	// has worked through every fault it raised. The sum of per-fault costs
+	// is interleaving-independent, so this stays bit-reproducible.
+	wall += g.epc.SerialCycles()
 	ps.WallCycles = wall
 	ps.Agg.Cycles = wall
 	g.clock = start + wall

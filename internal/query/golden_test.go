@@ -174,11 +174,12 @@ func TestPipelineCorrectness(t *testing.T) {
 		switch p.Name {
 		case Q1Name:
 			want = oracleQ1(ds, testPred)
-		case Q2Name:
+		case Q2Name, Q2SName:
 			want = oracleJoinAgg(ds, testPred, true)
-		case Q3Name, Q5Name:
+		case Q3Name, Q5Name, Q3SName:
 			// q5 computes the same unfiltered join-aggregation as q3,
-			// through the sort-merge path instead of the hash path.
+			// through the sort-merge path instead of the hash path; q3s
+			// through the spill-partitioned pair.
 			want = oracleJoinAgg(ds, testPred, false)
 		case Q4Name:
 			wantRows := oracleQ4(ds, testPred, DefaultLimit)

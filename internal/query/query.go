@@ -11,15 +11,19 @@
 // the environment's data region — EPC-resident under SGX DiE, exactly
 // where DuckDB-style engines hold intermediates inside an enclave.
 //
-// Five query shapes ship: a star-schema aggregation at increasing
-// depth, plus the two sort-based shapes whose sequential-stream access
-// pattern is the paper's Fig 3 counterpoint to the hash operators:
+// Seven query shapes ship: a star-schema aggregation at increasing
+// depth, the two sort-based shapes whose sequential-stream access
+// pattern is the paper's Fig 3 counterpoint to the hash operators, and
+// the two spill variants that rebuild the q2/q3 stars from the
+// EPC-oversubscription-aware operators:
 //
-//	q1.filter-agg        σ(fact) → gather fact tuples → γ(fk; payload)
-//	q2.filter-join-agg   σ(fact) → gather → fact ⋈ dim (RHO) → γ(dim attr)
-//	q3.join-agg          fact ⋈ dim (PHT) → γ(dim attr)
-//	q4.filter-sort-limit σ(fact) → gather → ORDER BY key LIMIT k
-//	q5.mergejoin-agg     sort(fact), sort(dim) → merge ⋈ (MWAY) → γ(dim attr)
+//	q1.filter-agg              σ(fact) → gather fact tuples → γ(fk; payload)
+//	q2.filter-join-agg         σ(fact) → gather → fact ⋈ dim (RHO) → γ(dim attr)
+//	q3.join-agg                fact ⋈ dim (PHT) → γ(dim attr)
+//	q4.filter-sort-limit       σ(fact) → gather → ORDER BY key LIMIT k
+//	q5.mergejoin-agg           sort(fact), sort(dim) → merge ⋈ (MWAY) → γ(dim attr)
+//	q2s.filter-join-agg-spill  q2 on the spill pair: GRACE ⋈ → spill γ
+//	q3s.join-agg-spill         q3 on the spill pair: GRACE ⋈ → spill γ
 //
 // All stages run on the engine's batched APIs with per-op reference
 // decompositions, so whole pipelines are bit-identical (results AND
@@ -203,7 +207,11 @@ type Pipeline struct {
 	Run  func(env *core.Env, ds *Dataset, opt Options) *Result
 }
 
-// All returns the shipped pipelines in report order.
+// All returns the shipped pipelines in report order. The q2s/q3s shapes
+// are the q2/q3 star queries rebuilt from the spill-partitioned join and
+// group-by; without an EPC capacity limit on the Env they run fully
+// resident, and under one they degrade gracefully (the oversubscription
+// gate's spill-aware side).
 func All() []Pipeline {
 	return []Pipeline{
 		{Name: Q1Name, Run: Q1FilterAgg},
@@ -211,6 +219,8 @@ func All() []Pipeline {
 		{Name: Q3Name, Run: Q3JoinAgg},
 		{Name: Q4Name, Run: Q4FilterSortLimit},
 		{Name: Q5Name, Run: Q5MergeJoinAgg},
+		{Name: Q2SName, Run: Q2SFilterJoinAggSpill},
+		{Name: Q3SName, Run: Q3SJoinAggSpill},
 	}
 }
 
@@ -226,11 +236,13 @@ func ByName(name string) (Pipeline, error) {
 
 // Pipeline names (the bench workload identifiers).
 const (
-	Q1Name = "q1.filter-agg"
-	Q2Name = "q2.filter-join-agg"
-	Q3Name = "q3.join-agg"
-	Q4Name = "q4.filter-sort-limit"
-	Q5Name = "q5.mergejoin-agg"
+	Q1Name  = "q1.filter-agg"
+	Q2Name  = "q2.filter-join-agg"
+	Q3Name  = "q3.join-agg"
+	Q4Name  = "q4.filter-sort-limit"
+	Q5Name  = "q5.mergejoin-agg"
+	Q2SName = "q2s.filter-join-agg-spill"
+	Q3SName = "q3s.join-agg-spill"
 )
 
 // scratch returns the options' Scratch, allocating one when absent.

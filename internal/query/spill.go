@@ -1,0 +1,76 @@
+package query
+
+import (
+	"sgxbench/internal/agg"
+	"sgxbench/internal/core"
+	"sgxbench/internal/exec"
+	"sgxbench/internal/join"
+	"sgxbench/internal/rel"
+)
+
+// The spill pipeline variants: q2/q3 query shapes rebuilt from the
+// EPC-oversubscription-aware operators. The join is the spill-
+// partitioned GRACE join and the aggregation the spill-partitioned
+// group-by, both of which detect an EPC capacity limit on the Env
+// (core.Options.EPCPages) and stage their partition runs in untrusted
+// memory so the pipeline degrades gracefully instead of collapsing when
+// the working set outgrows the enclave. Without a capacity limit they
+// run fully resident, making the same pipeline its own baseline for the
+// degradation gate.
+
+// Q2SFilterJoinAggSpill is σ(fact) → gather → fact ⋈ dim (GRACE,
+// materialized) → spill γ(dim attr): the q2 star query on the
+// spill-partitioned operator pair.
+func Q2SFilterJoinAggSpill(env *core.Env, ds *Dataset, opt Options) *Result {
+	g := env.NewGroup(opt.threads(), opt.NodeOf)
+	sc := opt.scratch(env, ds)
+	res := &Result{Pipeline: Q2SName, Check: agg.FNVOffset64}
+	n := filterGather(env, g, ds, sc, opt, res)
+	probe := &rel.Relation{Name: "S'", Tup: sc.FTup.View(n)}
+	jr, err := join.NewGrace().RunOn(env, g, ds.Dim, probe, join.Options{
+		Optimized: true, Materialize: true, OutBufs: sc.JoinOut,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res.Stages = append(res.Stages, StageStats{Name: "join", WallCycles: jr.WallCycles, Rows: jr.Matches})
+	res.Check = agg.Mix(res.Check, jr.Matches)
+	spillAggregate(env, g, ds, sc, joinSegments(sc, jr), agg.ByPayload, res)
+	return finish(g, res)
+}
+
+// Q3SJoinAggSpill is fact ⋈ dim (GRACE, materialized) → spill γ(dim
+// attr): the unfiltered q3 join-aggregation on the spill-partitioned
+// operator pair.
+func Q3SJoinAggSpill(env *core.Env, ds *Dataset, opt Options) *Result {
+	g := env.NewGroup(opt.threads(), opt.NodeOf)
+	sc := opt.scratch(env, ds)
+	res := &Result{Pipeline: Q3SName, Check: agg.FNVOffset64}
+	jr, err := join.NewGrace().RunOn(env, g, ds.Dim, ds.Fact, join.Options{
+		Optimized: true, Materialize: true, OutBufs: sc.JoinOut,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res.Stages = append(res.Stages, StageStats{Name: "join", WallCycles: jr.WallCycles, Rows: jr.Matches})
+	res.Check = agg.Mix(res.Check, jr.Matches)
+	spillAggregate(env, g, ds, sc, joinSegments(sc, jr), agg.ByPayload, res)
+	return finish(g, res)
+}
+
+// spillAggregate runs the final group-by stage through the spill
+// operator (the staging buffers are operator-internal; only the output
+// entry array comes from the Scratch).
+func spillAggregate(env *core.Env, g *exec.Group, ds *Dataset, sc *Scratch, ins []agg.Input, sel agg.Sel, res *Result) {
+	rows := 0
+	for _, in := range ins {
+		rows += in.N
+	}
+	ar := agg.SpillRunOn(env, g, ins, agg.Options{
+		Sel: sel, Groups: ds.Dim.N(), Out: sc.AggOut,
+	})
+	res.Stages = append(res.Stages, StageStats{Name: "agg", WallCycles: ar.WallCycles, Rows: uint64(ar.Groups)})
+	res.Rows = uint64(rows)
+	res.Groups = ar.Groups
+	res.Check = agg.Mix(res.Check, ar.Check)
+}

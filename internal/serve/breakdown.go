@@ -1,5 +1,11 @@
 package serve
 
+import (
+	"reflect"
+
+	"sgxbench/internal/agg"
+)
+
 // Breakdown accounts where the served requests' cycles went, summed over
 // all requests of a scenario. Together with the latency percentiles it
 // is the serving-layer analogue of engine.Stats: cmd/diag -serve prints
@@ -62,4 +68,17 @@ func (b Breakdown) Sub(o Breakdown) Breakdown {
 	b.PagesCommitted -= o.PagesCommitted
 	b.ServiceCycles -= o.ServiceCycles
 	return b
+}
+
+// Fold mixes every Breakdown counter into h, in field order. It walks
+// the struct reflectively so a newly added counter is folded into the
+// golden check value by construction (TestBreakdownFoldCoversAllFields
+// pins the sensitivity); fillBreakdown's kind check keeps the fields
+// uint64-only.
+func (b Breakdown) Fold(h uint64) uint64 {
+	v := reflect.ValueOf(b)
+	for i := 0; i < v.NumField(); i++ {
+		h = agg.Mix(h, v.Field(i).Uint())
+	}
+	return h
 }

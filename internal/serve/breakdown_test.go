@@ -48,3 +48,22 @@ func TestBreakdownAddCoversAllFields(t *testing.T) {
 		t.Errorf("(a+b)-b != a:\ngot:  %+v\nwant: %+v", got, a)
 	}
 }
+
+// TestBreakdownFoldCoversAllFields pins the golden-check fold's
+// sensitivity: flipping any single Breakdown counter must change the
+// fold value, so no counter can silently fall out of the scenario
+// check.
+func TestBreakdownFoldCoversAllFields(t *testing.T) {
+	var base serve.Breakdown
+	fillBreakdown(t, &base, 7)
+	h0 := base.Fold(0xcbf29ce484222325)
+	v := reflect.ValueOf(&base).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		mutated := base
+		mv := reflect.ValueOf(&mutated).Elem().Field(i)
+		mv.SetUint(mv.Uint() + 1)
+		if mutated.Fold(0xcbf29ce484222325) == h0 {
+			t.Errorf("Fold insensitive to field %s", v.Type().Field(i).Name)
+		}
+	}
+}

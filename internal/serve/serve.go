@@ -42,6 +42,7 @@ import (
 
 	"sgxbench/internal/core"
 	"sgxbench/internal/engine"
+	"sgxbench/internal/mem"
 	"sgxbench/internal/platform"
 	"sgxbench/internal/query"
 	"sgxbench/internal/scan"
@@ -140,6 +141,13 @@ type ClassCost struct {
 	// allocate during one run. Under MemDynamic every request commits
 	// this many pages.
 	Pages int64 `json:"pages"`
+	// EPCPages is the EPC capacity the class was calibrated under
+	// (0: unlimited). Set when CalibrateOptions.EPCRatio oversubscribes
+	// the enclave relative to the class's probed working set.
+	EPCPages int64 `json:"epc_pages,omitempty"`
+	// Faults is the demand-paging fault count of the calibration run
+	// (non-zero only under an EPC capacity limit with data in EPC).
+	Faults uint64 `json:"faults,omitempty"`
 	// Check is the pipeline's deterministic check value (equivalence).
 	Check uint64 `json:"check"`
 }
@@ -151,7 +159,10 @@ type Workload struct {
 	Plat      *platform.Platform
 	OS        sgx.OSCosts
 	InEnclave bool
-	Classes   []ClassCost
+	// EPCRatio is the working-set / EPC-capacity oversubscription the
+	// classes were calibrated under (0: unlimited enclave).
+	EPCRatio float64
+	Classes  []ClassCost
 	// Stats aggregates the calibration runs' engine statistics; bench
 	// golden gates pin it alongside the simulated scenario numbers.
 	Stats engine.Stats
@@ -167,8 +178,17 @@ type CalibrateOptions struct {
 	// Dataset shape. Serving workloads are many small queries, so the
 	// defaults are deliberately tiny: NDim 256, NFact 4096.
 	NDim, NFact, MaxRows int
-	Pipelines            []string // default: q1..q5
+	Pipelines            []string // default: q1..q5 (+ q2s/q3s when EPCRatio > 0)
 	Seed                 uint64   // dataset seed (default 4242)
+	// EPCRatio oversubscribes the enclave: each class's working set is
+	// probed on an unlimited environment, then the class is calibrated
+	// with an EPC capacity of workingSet/EPCRatio pages, so service
+	// cycles include the demand-paging cost of running at that ratio.
+	// Zero (or any setting that keeps data out of EPC) calibrates on an
+	// unlimited enclave. This is the working-set/EPC-ratio scenario axis:
+	// calibrate the same mix at ratios 1, 2, 4 and the spill pipelines
+	// degrade gracefully while the naive shapes collapse.
+	EPCRatio float64
 }
 
 func (o *CalibrateOptions) defaults() {
@@ -189,6 +209,12 @@ func (o *CalibrateOptions) defaults() {
 	}
 	if len(o.Pipelines) == 0 {
 		o.Pipelines = []string{query.Q1Name, query.Q2Name, query.Q3Name, query.Q4Name, query.Q5Name}
+		if o.EPCRatio > 0 {
+			// The oversubscription axis is about how operators behave when
+			// the working set outgrows the enclave — include the spill
+			// shapes so the workload carries both halves of the story.
+			o.Pipelines = append(o.Pipelines, query.Q2SName, query.Q3SName)
+		}
 	}
 	if o.Seed == 0 {
 		o.Seed = 4242
@@ -212,13 +238,39 @@ func Calibrate(o CalibrateOptions) (*Workload, error) {
 		OS:        o.OS,
 		InEnclave: o.Setting.InEnclave(),
 	}
+	w.EPCRatio = o.EPCRatio
 	for _, name := range o.Pipelines {
 		p, err := query.ByName(name)
 		if err != nil {
 			return nil, err
 		}
+		var epcPages int64
+		if o.EPCRatio > 0 {
+			// Probe the class's EPC working set on an unlimited enclave,
+			// then size the capacity limit to oversubscribe it by the
+			// requested ratio. Settings that keep data out of EPC probe
+			// zero and stay unlimited.
+			probe := core.NewEnv(core.Options{
+				Plat: o.Plat, Setting: o.Setting, OS: o.OS, Reference: o.Reference,
+			})
+			pds := query.GenDataset(probe, o.NDim, o.NFact, o.Seed)
+			p.Run(probe, pds, query.Options{
+				Threads: 1,
+				Pred:    scan.Predicate{Lo: 16, Hi: 127},
+				MaxRows: o.MaxRows,
+				Scratch: query.NewScratch(probe, pds, 1, o.MaxRows),
+			})
+			if used := probe.Space.Used(mem.Region{Node: probe.Node, Kind: mem.EPC}); used > 0 {
+				ws := (used + 4095) / 4096
+				epcPages = int64(float64(ws) / o.EPCRatio)
+				if epcPages < 1 {
+					epcPages = 1
+				}
+			}
+		}
 		env := core.NewEnv(core.Options{
 			Plat: o.Plat, Setting: o.Setting, OS: o.OS, Reference: o.Reference,
+			EPCPages: epcPages,
 		})
 		ds := query.GenDataset(env, o.NDim, o.NFact, o.Seed)
 		reg := env.DataRegion()
@@ -240,6 +292,8 @@ func Calibrate(o CalibrateOptions) (*Workload, error) {
 			Name:          name,
 			ServiceCycles: res.WallCycles,
 			Pages:         (wsBytes + 4095) / 4096,
+			EPCPages:      epcPages,
+			Faults:        res.Stats.EPCFaults,
 			Check:         res.Check,
 		})
 		w.Stats.Add(res.Stats)

@@ -5,6 +5,7 @@ import (
 
 	"sgxbench/internal/core"
 	"sgxbench/internal/platform"
+	"sgxbench/internal/query"
 	"sgxbench/internal/serve"
 	"sgxbench/internal/sgx"
 )
@@ -197,6 +198,63 @@ func TestCalibrateEquivalence(t *testing.T) {
 		if fr.Check != rr.Check || fr.MakespanCycles != rr.MakespanCycles || fr.Breakdown != rr.Breakdown {
 			t.Errorf("%v: simulated scenario differs across engine paths:\nfast: %+v\nref:  %+v",
 				setting, fr, rr)
+		}
+	}
+}
+
+// TestCalibrateEPCRatio covers the working-set/EPC-ratio axis: under
+// SGX DiE at 2x oversubscription every class must be calibrated against
+// a positive EPC capacity below its probed working set, fault during
+// calibration, and cost more service cycles than on an unlimited
+// enclave — while the calibration stays bit-identical across engine
+// paths. Outside the enclave the ratio is inert (nothing lives in EPC).
+func TestCalibrateEPCRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs full pipelines")
+	}
+	pipes := []string{query.Q3Name, query.Q3SName}
+	base, err := serve.Calibrate(serve.CalibrateOptions{Setting: core.SGXDiE, Pipelines: pipes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := serve.CalibrateOptions{Setting: core.SGXDiE, Pipelines: pipes, EPCRatio: 2}
+	over, err := serve.Calibrate(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.EPCRatio != 2 {
+		t.Fatalf("workload EPCRatio = %v, want 2", over.EPCRatio)
+	}
+	for i, cc := range over.Classes {
+		if cc.EPCPages <= 0 {
+			t.Errorf("%s: EPCPages = %d, want > 0", cc.Name, cc.EPCPages)
+		}
+		if cc.Faults == 0 {
+			t.Errorf("%s: oversubscribed calibration did not fault", cc.Name)
+		}
+		if cc.ServiceCycles <= base.Classes[i].ServiceCycles {
+			t.Errorf("%s: oversubscribed service %d not above unlimited %d",
+				cc.Name, cc.ServiceCycles, base.Classes[i].ServiceCycles)
+		}
+	}
+	opt.Reference = true
+	ref, err := serve.Calibrate(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range over.Classes {
+		if over.Classes[i] != ref.Classes[i] {
+			t.Errorf("class %d differs across engine paths:\nfast: %+v\nref:  %+v",
+				i, over.Classes[i], ref.Classes[i])
+		}
+	}
+	plain, err := serve.Calibrate(serve.CalibrateOptions{Setting: core.PlainCPU, Pipelines: pipes, EPCRatio: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cc := range plain.Classes {
+		if cc.EPCPages != 0 || cc.Faults != 0 {
+			t.Errorf("%s: plain CPU calibrated with EPC limit %d / faults %d", cc.Name, cc.EPCPages, cc.Faults)
 		}
 	}
 }

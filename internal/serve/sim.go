@@ -447,14 +447,7 @@ func (s *sim) check(res *Result) uint64 {
 	for _, l := range s.lats {
 		h = agg.Mix(h, l)
 	}
-	b := res.Breakdown
-	for _, v := range []uint64{
-		b.Requests, b.Transitions, b.TransitionCycles, b.QueueWaitCycles,
-		b.LockCycles, b.CommitWaitCycles, b.CommitCycles, b.PagesCommitted,
-		b.ServiceCycles,
-	} {
-		h = agg.Mix(h, v)
-	}
+	h = res.Breakdown.Fold(h)
 	for i := range s.classReq {
 		h = agg.Mix(h, uint64(s.classReq[i]))
 	}

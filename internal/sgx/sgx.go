@@ -38,6 +38,15 @@ type OSCosts struct {
 	MutexCS uint64
 	// CASCycles is the cost of a lock-free queue pop (one contended CAS).
 	CASCycles uint64
+	// EPCPageIn is the cost of demand-paging one 4 KiB EPC page back in
+	// when the enclave's working set exceeds the EPC: the AEX on the
+	// faulting access, the kernel ELDU path decrypting and integrity-
+	// checking the page, and the TLB refill.
+	EPCPageIn uint64
+	// EPCPageOut is the additional cost when the fault must evict a
+	// resident page first: the EWB encrypted write-back and its TLB
+	// shootdown. A fault under a full EPC costs EPCPageIn + EPCPageOut.
+	EPCPageOut uint64
 }
 
 // DefaultOSCosts returns the calibrated cost set.
@@ -49,6 +58,24 @@ func DefaultOSCosts() OSCosts {
 		FutexWake:  1500,
 		MutexCS:    100,
 		CASCycles:  30,
+		EPCPageIn:  1500,
+		EPCPageOut: 800,
+	}
+}
+
+// NewEPCDomain builds the engine's EPC oversubscription model for an
+// enclave with capPages of EPC capacity, parameterized by the OS paging
+// costs. capPages <= 0 means "not oversubscribed" and returns nil, which
+// disables paging entirely (the pre-oversubscription behaviour of every
+// existing workload).
+func NewEPCDomain(capPages int64, c OSCosts) *engine.EPCDomain {
+	if capPages <= 0 {
+		return nil
+	}
+	return &engine.EPCDomain{
+		TotalPages:    capPages,
+		PageInCycles:  c.EPCPageIn,
+		PageOutCycles: c.EPCPageOut,
 	}
 }
 
