@@ -9,6 +9,7 @@
 //	go run ./cmd/diag -query q2.filter-join-agg -setting die [-threads 4]
 //	go run ./cmd/diag -serve -setting die [-sync mutex] [-mem dyn] [-clients 32] [-workers 16]
 //	go run ./cmd/diag -epc -setting die [-ratio 2] [-scale 512] [-threads 4]
+//	go run ./cmd/diag -fault -setting die [-admit 12] [-clients 64] [-workers 8]
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"sgxbench/internal/rel"
 	"sgxbench/internal/scan"
 	"sgxbench/internal/serve"
+	"sgxbench/internal/sgx"
 )
 
 var (
@@ -48,6 +50,12 @@ var (
 	// EPC oversubscription mode (-epc): the demand-paging diagnostics.
 	epcMode  = flag.Bool("epc", false, "run the spill/naive operator pairs under a capacity-limited enclave and print the paging breakdown")
 	epcRatio = flag.Int64("ratio", 2, "epc: oversubscription ratio (EPC capacity = working set / ratio; 0 = unlimited)")
+
+	// Fault-injection mode (-fault): the crash-storm serving scenario
+	// with deadlines, retries and admission control, plus the injected
+	// fault timeline.
+	faultMode = flag.Bool("fault", false, "simulate the fault-injected serving scenario and print the fault timeline next to the breakdown")
+	admit     = flag.Int("admit", 12, "fault: queue-depth admission limit (0 = naive unbounded queue)")
 )
 
 func parseSetting(s string) (core.Setting, bool) {
@@ -90,7 +98,7 @@ func main() {
 
 	plat := platform.XeonGold6326().Scaled(*scale)
 
-	if *serveMode {
+	if *serveMode || *faultMode {
 		runServe(plat, setting)
 		return
 	}
@@ -233,7 +241,10 @@ func runEPC(plat *platform.Platform, setting core.Setting) {
 
 // runServe calibrates the pipelines on the -scale'd platform and
 // replays one serving scenario, printing the per-phase
-// queue/transition/EDMM breakdown.
+// queue/transition/EDMM breakdown. Under -fault the scenario carries the
+// crash-storm fault plan plus deadlines, capped-backoff retries and
+// (unless -admit 0) queue-depth admission control, and the injected
+// fault timeline is printed next to the breakdown, mirroring -epc.
 func runServe(plat *platform.Platform, setting core.Setting) {
 	sync, err := serve.ParseSync(*syncName)
 	if err != nil {
@@ -256,12 +267,51 @@ func runServe(plat *platform.Platform, setting core.Setting) {
 	for _, c := range w.Classes {
 		fmt.Printf("  %-20s service=%9d cycles  workingSet=%4d pages\n", c.Name, c.ServiceCycles, c.Pages)
 	}
-	res := w.Simulate(serve.Config{
+	cfg := serve.Config{
 		Clients: *clients, Workers: *workers, RequestsPerClient: *requests,
 		Sync: sync, Mem: mm, ThinkCycles: *think, JitterPct: 10, Seed: 7,
-	})
+	}
+	var plan *serve.FaultPlan
+	if *faultMode {
+		// The bench crash-storm scenario, scaled off the calibrated mean
+		// service time so the shape survives -scale changes.
+		var sum uint64
+		for _, c := range w.Classes {
+			sum += c.ServiceCycles
+		}
+		s := sum / uint64(len(w.Classes))
+		fc := sgx.DefaultFaultCosts()
+		fc.Teardown = s / 2
+		fc.RebuildBase = 3 * s
+		plan = &serve.FaultPlan{
+			Seed:          11,
+			CrashInterval: 60 * s,
+			RebuildPages:  64,
+			StormInterval: 20 * s,
+			StormLen:      9 * s,
+			StormAEXGap:   fc.AEX / 5,
+			FailPct:       2,
+			Costs:         fc,
+		}
+		cfg.Fault = plan
+		cfg.ThinkCycles = 12 * s
+		cfg.DeadlineCycles = 7 * s
+		cfg.MaxRetries = 7
+		cfg.BackoffBase = s
+		cfg.BackoffCap = 16 * s
+		cfg.AdmitDepth = *admit
+	}
+	res, err := w.Simulate(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "diag: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Printf("\n%s %s queue=%q mem=%s: %d requests, makespan=%d cycles, %.0f q/s\n",
 		res.Setting, sync, res.Queue, mm, res.Requests, res.MakespanCycles, res.ThroughputQPS)
+	if *faultMode {
+		fmt.Printf("outcome: %d succeeded, %d failed, goodput %.0f q/s (admit depth %d)\n",
+			res.Succeeded, res.Failed, res.GoodputQPS, *admit)
+	}
 	fmt.Printf("latency cycles: p50=%d p95=%d p99=%d max=%d\n", res.P50, res.P95, res.P99, res.Max)
 	b := res.Breakdown
 	fmt.Printf("breakdown (cycles summed over %d requests):\n", b.Requests)
@@ -271,9 +321,24 @@ func runServe(plat *platform.Platform, setting core.Setting) {
 	fmt.Printf("  %-12s %14d  (%d pages)\n", "page commit", b.CommitCycles, b.PagesCommitted)
 	fmt.Printf("  %-12s %14d\n", "commit wait", b.CommitWaitCycles)
 	fmt.Printf("  %-12s %14d\n", "service", b.ServiceCycles)
+	if *faultMode {
+		fmt.Printf("  %-12s %14d  (%d AEX events)\n", "aex", b.AEXCycles, b.AEXEvents)
+		fmt.Printf("  %-12s %14d  (%d crashes)\n", "rebuild", b.RebuildCycles, b.Crashes)
+		fmt.Printf("fault counters: timeouts=%d retries=%d shed=%d\n", b.Timeouts, b.Retries, b.Shed)
+	}
 	fmt.Println("per class:")
 	for _, c := range res.PerClass {
 		fmt.Printf("  %-20s n=%4d  meanLat=%d\n", c.Name, c.Requests, c.MeanCycles)
+	}
+	if *faultMode {
+		fmt.Println("injected fault timeline:")
+		for _, win := range plan.StormWindows(res.MakespanCycles) {
+			fmt.Printf("  t=%-12d aex storm until t=%d (one AEX per %d work cycles)\n",
+				win[0], win[1], plan.StormAEXGap)
+		}
+		for _, ev := range res.Faults {
+			fmt.Printf("  t=%-12d worker %-3d %s\n", ev.T, ev.Worker, ev.Kind)
+		}
 	}
 }
 

@@ -37,8 +37,32 @@ type Breakdown struct {
 	CommitCycles uint64 `json:"commit_cycles"`
 	// PagesCommitted is the number of 4 KiB pages committed at run time.
 	PagesCommitted uint64 `json:"pages_committed"`
-	// ServiceCycles is the pure query-execution time.
+	// ServiceCycles is the query-execution work actually performed by
+	// workers, including work on attempts the client had already
+	// abandoned (the server is deadline-unaware) and the partial work
+	// of transiently aborted attempts. Work lost to enclave crashes
+	// vanishes with the enclave and is not counted.
 	ServiceCycles uint64 `json:"service_cycles"`
+	// Timeouts counts attempts abandoned by their client's deadline.
+	Timeouts uint64 `json:"timeouts"`
+	// Retries counts re-issued attempts (after a shed, timeout, abort
+	// or crash-lost attempt), i.e. attempts beyond each logical
+	// request's first.
+	Retries uint64 `json:"retries"`
+	// Shed counts submissions rejected by queue-depth admission
+	// control.
+	Shed uint64 `json:"shed"`
+	// Crashes counts enclave crashes across the worker pool.
+	Crashes uint64 `json:"crashes"`
+	// RebuildCycles is the total wall time workers were out of service
+	// across crashes: teardown, waiting on the serialized kernel
+	// enclave-management lock, and the ECREATE/EADD/EINIT-scale
+	// rebuild itself.
+	RebuildCycles uint64 `json:"rebuild_cycles"`
+	// AEXEvents counts asynchronous enclave exits injected by storm
+	// windows; AEXCycles is the wall time they cost.
+	AEXEvents uint64 `json:"aex_events"`
+	AEXCycles uint64 `json:"aex_cycles"`
 }
 
 // Add accumulates o into b, field-wise.
@@ -52,6 +76,13 @@ func (b *Breakdown) Add(o Breakdown) {
 	b.CommitCycles += o.CommitCycles
 	b.PagesCommitted += o.PagesCommitted
 	b.ServiceCycles += o.ServiceCycles
+	b.Timeouts += o.Timeouts
+	b.Retries += o.Retries
+	b.Shed += o.Shed
+	b.Crashes += o.Crashes
+	b.RebuildCycles += o.RebuildCycles
+	b.AEXEvents += o.AEXEvents
+	b.AEXCycles += o.AEXCycles
 }
 
 // Sub returns the field-wise difference b - o, where o is an earlier
@@ -67,6 +98,13 @@ func (b Breakdown) Sub(o Breakdown) Breakdown {
 	b.CommitCycles -= o.CommitCycles
 	b.PagesCommitted -= o.PagesCommitted
 	b.ServiceCycles -= o.ServiceCycles
+	b.Timeouts -= o.Timeouts
+	b.Retries -= o.Retries
+	b.Shed -= o.Shed
+	b.Crashes -= o.Crashes
+	b.RebuildCycles -= o.RebuildCycles
+	b.AEXEvents -= o.AEXEvents
+	b.AEXCycles -= o.AEXCycles
 	return b
 }
 

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"fmt"
+
+	"sgxbench/internal/sgx"
+)
+
+// FaultPlan is a seeded, deterministic fault schedule injected into
+// Simulate's event loop. Everything is derived from the plan's Seed and
+// the virtual clock — no host randomness — so a faulted scenario is as
+// bit-reproducible as a clean one, across runs and engine paths.
+//
+// Three failure modes, mirroring what a full DBMS-in-enclave deployment
+// (Hyrise under Gramine, DuckDB-SGX2) actually survives in production:
+//
+//   - AEX interrupt storms: windows of the virtual clock during which
+//     every cycle of enclave execution is pelted with asynchronous
+//     exits (timer interrupts, IPIs). Each AEX charges FaultCosts.AEX
+//     of wall time without advancing the request's work — service
+//     stretches by (1 + AEX/StormAEXGap) inside a window.
+//   - Transient request failure: an enclave thread aborts partway
+//     through a request (poisoned TCS, simulated EPCM integrity trip).
+//     The attempt's partial work is wasted and the client sees a
+//     retriable failure after FaultCosts.AbortDetect.
+//   - Enclave crash → rebuild: a worker's enclave dies on a schedule;
+//     the in-flight request is lost, and the worker is unavailable for
+//     teardown plus an ECREATE/EADD/EINIT-scale rebuild. Rebuilds
+//     serialize on the kernel's enclave-management lock — the same
+//     serialization that collapses EDMM commits in Fig 12 — so
+//     correlated crashes queue into long outages.
+type FaultPlan struct {
+	// Seed drives every deterministic draw (crash phases, abort picks,
+	// abort progress fractions).
+	Seed uint64
+	// CrashInterval is the mean per-worker enclave lifetime in cycles;
+	// each worker's crash times are jittered deterministically around
+	// it. Zero disables crashes.
+	CrashInterval uint64
+	// RebuildPages is the number of EPC pages re-added during a
+	// rebuild. Zero defaults to the workload's summed class working
+	// sets (the enclave image that served them).
+	RebuildPages int64
+	// StormInterval is the AEX storm period: a storm window opens at
+	// every positive multiple of it. Zero disables storms.
+	StormInterval uint64
+	// StormLen is the storm window length (must be <= StormInterval).
+	StormLen uint64
+	// StormAEXGap is how many cycles of enclave execution pass between
+	// AEXs inside a storm window.
+	StormAEXGap uint64
+	// FailPct is the per-attempt transient failure probability in
+	// percent [0, 100].
+	FailPct int
+	// Costs is the failure cost model; the zero value selects
+	// sgx.DefaultFaultCosts.
+	Costs sgx.FaultCosts
+}
+
+// validate reports the first structural problem with the plan.
+func (p *FaultPlan) validate() error {
+	if p.CrashInterval == 0 && p.StormInterval == 0 && p.FailPct == 0 {
+		return fmt.Errorf("serve: fault plan injects nothing (no crashes, storms or failures); use Fault: nil instead")
+	}
+	if p.StormInterval > 0 {
+		if p.StormLen == 0 || p.StormLen > p.StormInterval {
+			return fmt.Errorf("serve: storm length %d outside (0, interval %d]", p.StormLen, p.StormInterval)
+		}
+		if p.StormAEXGap == 0 {
+			return fmt.Errorf("serve: storms enabled with zero StormAEXGap")
+		}
+	}
+	if p.FailPct < 0 || p.FailPct > 100 {
+		return fmt.Errorf("serve: FailPct %d outside [0, 100]", p.FailPct)
+	}
+	if p.RebuildPages < 0 {
+		return fmt.Errorf("serve: negative RebuildPages %d", p.RebuildPages)
+	}
+	return nil
+}
+
+// costs returns the plan's cost model, defaulting the zero value.
+func (p *FaultPlan) costs() sgx.FaultCosts {
+	if p.Costs == (sgx.FaultCosts{}) {
+		return sgx.DefaultFaultCosts()
+	}
+	return p.Costs
+}
+
+// StormWindows enumerates the plan's AEX storm windows that open before
+// horizon, as [start, end) pairs on the virtual clock. Used by
+// cmd/diag -fault to print the injected timeline.
+func (p *FaultPlan) StormWindows(horizon uint64) [][2]uint64 {
+	var ws [][2]uint64
+	if p == nil || p.StormInterval == 0 {
+		return ws
+	}
+	for t := p.StormInterval; t < horizon; t += p.StormInterval {
+		ws = append(ws, [2]uint64{t, t + p.StormLen})
+	}
+	return ws
+}
+
+// FaultEvent is one injected-fault occurrence recorded during a
+// simulation: an enclave crash or the completion of its rebuild.
+type FaultEvent struct {
+	T      uint64 `json:"t"`
+	Kind   string `json:"kind"` // "crash" or "rebuilt"
+	Worker int    `json:"worker"`
+}
+
+// maxFaultEvents caps the per-result fault timeline so a long crash-loop
+// scenario cannot bloat the report; the Breakdown counters stay exact.
+const maxFaultEvents = 512
+
+// Validate reports the first structural problem with the scenario
+// configuration against a workload of nClasses query classes. Simulate
+// calls it and returns its error instead of mis-running: a malformed
+// mix, a zero-size pool facing live clients, or an underflowing jitter
+// must fail loudly, not skew a golden number.
+func (c Config) Validate(nClasses int) error {
+	if nClasses <= 0 {
+		return fmt.Errorf("serve: workload has no classes")
+	}
+	if c.Clients < 0 || c.Workers < 0 || c.RequestsPerClient < 0 {
+		return fmt.Errorf("serve: negative counts (clients %d, workers %d, requests/client %d)",
+			c.Clients, c.Workers, c.RequestsPerClient)
+	}
+	if c.Workers == 0 && c.Clients > 0 {
+		return fmt.Errorf("serve: zero workers cannot serve %d clients", c.Clients)
+	}
+	if c.JitterPct < 0 || c.JitterPct >= 100 {
+		return fmt.Errorf("serve: JitterPct %d outside [0, 100)", c.JitterPct)
+	}
+	if c.Weights != nil {
+		if len(c.Weights) != nClasses {
+			return fmt.Errorf("serve: %d weights for %d classes", len(c.Weights), nClasses)
+		}
+		total := 0
+		for i, wt := range c.Weights {
+			if wt < 0 {
+				return fmt.Errorf("serve: negative weight %d for class %d", wt, i)
+			}
+			total += wt
+		}
+		if total == 0 {
+			return fmt.Errorf("serve: class weights sum to zero")
+		}
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("serve: negative MaxRetries %d", c.MaxRetries)
+	}
+	if c.AdmitDepth < 0 {
+		return fmt.Errorf("serve: negative AdmitDepth %d", c.AdmitDepth)
+	}
+	if c.BackoffCap > 0 && c.BackoffBase > c.BackoffCap {
+		return fmt.Errorf("serve: BackoffBase %d above BackoffCap %d", c.BackoffBase, c.BackoffCap)
+	}
+	if c.Fault != nil {
+		if err := c.Fault.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

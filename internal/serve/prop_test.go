@@ -26,7 +26,7 @@ func TestMutexThroughputMonotoneInClients(t *testing.T) {
 	prev := -1.0
 	prevClients := 0
 	for _, clients := range []int{workers, 2 * workers, 4 * workers, 8 * workers, 16 * workers} {
-		r := w.Simulate(serve.Config{
+		r := mustSim(t, w, serve.Config{
 			Clients: clients, Workers: workers, RequestsPerClient: 128,
 			Sync: serve.SyncMutex, Mem: serve.MemPreSized, JitterPct: 10, Seed: 7,
 		})
@@ -50,9 +50,9 @@ func TestLockFreeAtLeastMutexEveryWorkerCount(t *testing.T) {
 			Mem: serve.MemPreSized, JitterPct: 10, Seed: 7,
 		}
 		c.Sync = serve.SyncMutex
-		mutex := w.Simulate(c)
+		mutex := mustSim(t, w, c)
 		c.Sync = serve.SyncLockFree
-		free := w.Simulate(c)
+		free := mustSim(t, w, c)
 		if free.ThroughputQPS < mutex.ThroughputQPS {
 			t.Errorf("workers=%d: lock-free %.0f qps < SDK mutex %.0f qps",
 				workers, free.ThroughputQPS, mutex.ThroughputQPS)
@@ -82,7 +82,7 @@ func TestCheckInvariantUnderEnginePathSwap(t *testing.T) {
 				Clients: 16, Workers: 8, RequestsPerClient: 4,
 				Sync: sync, Mem: mem, JitterPct: 10, Seed: 7,
 			}
-			fr, rr := fast.Simulate(c), ref.Simulate(c)
+			fr, rr := mustSim(t, fast, c), mustSim(t, ref, c)
 			if fr.Check != rr.Check || fr.MakespanCycles != rr.MakespanCycles || fr.Breakdown != rr.Breakdown {
 				t.Errorf("%s/%s: scenario diverged across engine paths (check %#x vs %#x)",
 					sync, mem, fr.Check, rr.Check)

@@ -32,6 +32,16 @@ func cfg(sync serve.SyncKind, mem serve.MemMode) serve.Config {
 	}
 }
 
+// mustSim replays a scenario that is expected to validate.
+func mustSim(t *testing.T, w *serve.Workload, c serve.Config) *serve.Result {
+	t.Helper()
+	r, err := w.Simulate(c)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	return r
+}
+
 // TestSimulateDeterministic: repeated replays of the same scenario must
 // be bit-identical, including the check value.
 func TestSimulateDeterministic(t *testing.T) {
@@ -39,9 +49,9 @@ func TestSimulateDeterministic(t *testing.T) {
 	for _, sync := range []serve.SyncKind{serve.SyncMutex, serve.SyncSpin, serve.SyncLockFree} {
 		for _, mem := range []serve.MemMode{serve.MemPreSized, serve.MemDynamic} {
 			c := cfg(sync, mem)
-			a := w.Simulate(c)
+			a := mustSim(t, w, c)
 			for rep := 0; rep < 3; rep++ {
-				b := w.Simulate(c)
+				b := mustSim(t, w, c)
 				if a.Check != b.Check || a.MakespanCycles != b.MakespanCycles ||
 					a.Breakdown != b.Breakdown || a.P99 != b.P99 {
 					t.Fatalf("%s/%s: replay diverged: %+v vs %+v", sync, mem, a, b)
@@ -55,7 +65,7 @@ func TestSimulateDeterministic(t *testing.T) {
 func TestSimulateAccounting(t *testing.T) {
 	w := synthetic(core.SGXDiE, 50_000, 16)
 	c := cfg(serve.SyncMutex, serve.MemDynamic)
-	r := w.Simulate(c)
+	r := mustSim(t, w, c)
 	want := c.Clients * c.RequestsPerClient
 	if r.Requests != want || r.Breakdown.Requests != uint64(want) {
 		t.Fatalf("requests = %d / %d, want %d", r.Requests, r.Breakdown.Requests, want)
@@ -94,7 +104,7 @@ func TestSimulateAccounting(t *testing.T) {
 // dynamic memory never serializes.
 func TestPlainNoTransitions(t *testing.T) {
 	w := synthetic(core.PlainCPU, 50_000, 16)
-	r := w.Simulate(cfg(serve.SyncMutex, serve.MemDynamic))
+	r := mustSim(t, w, cfg(serve.SyncMutex, serve.MemDynamic))
 	if r.Breakdown.Transitions != 0 || r.Breakdown.TransitionCycles != 0 {
 		t.Fatalf("plain CPU transitioned: %+v", r.Breakdown)
 	}
@@ -113,9 +123,9 @@ func TestPlainNoTransitions(t *testing.T) {
 // must sit in between.
 func TestSyncCollapse(t *testing.T) {
 	w := synthetic(core.SGXDiE, 50_000, 0)
-	mutex := w.Simulate(cfg(serve.SyncMutex, serve.MemPreSized))
-	spin := w.Simulate(cfg(serve.SyncSpin, serve.MemPreSized))
-	free := w.Simulate(cfg(serve.SyncLockFree, serve.MemPreSized))
+	mutex := mustSim(t, w, cfg(serve.SyncMutex, serve.MemPreSized))
+	spin := mustSim(t, w, cfg(serve.SyncSpin, serve.MemPreSized))
+	free := mustSim(t, w, cfg(serve.SyncLockFree, serve.MemPreSized))
 	if ratio := free.ThroughputQPS / mutex.ThroughputQPS; ratio < 2 {
 		t.Errorf("lock-free/mutex throughput = %.2fx, want >= 2x (mutex %v qps, lock-free %v qps)",
 			ratio, mutex.ThroughputQPS, free.ThroughputQPS)
@@ -131,8 +141,8 @@ func TestSyncCollapse(t *testing.T) {
 	// Outside the enclave SyncMutex resolves to a plain futex mutex,
 	// which must not collapse anywhere near as hard.
 	pw := synthetic(core.PlainCPU, 50_000, 0)
-	pm := pw.Simulate(cfg(serve.SyncMutex, serve.MemPreSized))
-	pf := pw.Simulate(cfg(serve.SyncLockFree, serve.MemPreSized))
+	pm := mustSim(t, pw, cfg(serve.SyncMutex, serve.MemPreSized))
+	pf := mustSim(t, pw, cfg(serve.SyncLockFree, serve.MemPreSized))
 	sgxRatio := free.ThroughputQPS / mutex.ThroughputQPS
 	plainRatio := pf.ThroughputQPS / pm.ThroughputQPS
 	if plainRatio >= sgxRatio {
@@ -145,8 +155,8 @@ func TestSyncCollapse(t *testing.T) {
 // lock and loses most of its throughput against a pre-sized enclave.
 func TestEDMMCollapse(t *testing.T) {
 	w := synthetic(core.SGXDiE, 50_000, 32)
-	pre := w.Simulate(cfg(serve.SyncLockFree, serve.MemPreSized))
-	dyn := w.Simulate(cfg(serve.SyncLockFree, serve.MemDynamic))
+	pre := mustSim(t, w, cfg(serve.SyncLockFree, serve.MemPreSized))
+	dyn := mustSim(t, w, cfg(serve.SyncLockFree, serve.MemDynamic))
 	if ratio := pre.ThroughputQPS / dyn.ThroughputQPS; ratio < 5 {
 		t.Errorf("pre-sized/EDMM throughput = %.2fx, want >= 5x", ratio)
 	}
@@ -156,8 +166,8 @@ func TestEDMMCollapse(t *testing.T) {
 	// The same pages outside an enclave (minor faults, unserialized)
 	// must hurt far less.
 	pw := synthetic(core.PlainCPU, 50_000, 32)
-	ppre := pw.Simulate(cfg(serve.SyncLockFree, serve.MemPreSized))
-	pdyn := pw.Simulate(cfg(serve.SyncLockFree, serve.MemDynamic))
+	ppre := mustSim(t, pw, cfg(serve.SyncLockFree, serve.MemPreSized))
+	pdyn := mustSim(t, pw, cfg(serve.SyncLockFree, serve.MemDynamic))
 	enclaveRatio := pre.ThroughputQPS / dyn.ThroughputQPS
 	plainRatio := ppre.ThroughputQPS / pdyn.ThroughputQPS
 	if plainRatio >= enclaveRatio {
@@ -193,8 +203,8 @@ func TestCalibrateEquivalence(t *testing.T) {
 			}
 		}
 		c := cfg(serve.SyncMutex, serve.MemDynamic)
-		fr := fast.Simulate(c)
-		rr := ref.Simulate(c)
+		fr := mustSim(t, fast, c)
+		rr := mustSim(t, ref, c)
 		if fr.Check != rr.Check || fr.MakespanCycles != rr.MakespanCycles || fr.Breakdown != rr.Breakdown {
 			t.Errorf("%v: simulated scenario differs across engine paths:\nfast: %+v\nref:  %+v",
 				setting, fr, rr)

@@ -17,8 +17,8 @@ type Config struct {
 	Clients int
 	// Workers is the enclave worker-pool size (default 1).
 	Workers int
-	// RequestsPerClient is how many requests each client issues
-	// (default 1).
+	// RequestsPerClient is how many logical requests each client issues
+	// (default 1). Retried attempts do not count extra.
 	RequestsPerClient int
 	// Sync selects the dispatch queue's synchronization model.
 	Sync SyncKind
@@ -35,6 +35,33 @@ type Config struct {
 	JitterPct int
 	// Seed drives the deterministic class picks and jitter.
 	Seed uint64
+
+	// --- Resilience knobs (all zero: the clean pre-fault behaviour) ---
+
+	// Fault injects a deterministic failure schedule (nil: fault-free).
+	Fault *FaultPlan
+	// DeadlineCycles is the client-side per-attempt deadline: an
+	// attempt not answered this many cycles after its issue is
+	// abandoned and counts a timeout. The server is deadline-unaware —
+	// a worker that pops an abandoned attempt still executes it, which
+	// is exactly the wasted work that melts the unbounded-queue
+	// variant down under faults. Zero disables deadlines.
+	DeadlineCycles uint64
+	// MaxRetries is how many extra attempts a client gives a logical
+	// request after a shed, timeout, transient abort or crash loss;
+	// exhausting them fails the request. Zero: fail on first error.
+	MaxRetries int
+	// BackoffBase and BackoffCap shape the client retry backoff:
+	// attempt n waits min(BackoffBase<<(n-1), BackoffCap) cycles,
+	// spread by deterministic jitter so retries cannot arrive in
+	// lockstep. BackoffBase zero retries immediately.
+	BackoffBase uint64
+	BackoffCap  uint64
+	// AdmitDepth is the queue-depth admission limit: a submission that
+	// finds this many requests already queued is shed at the dispatch
+	// lock (a cheap rejection the client can retry) instead of
+	// deepening the queue. Zero: unbounded queue, never shed.
+	AdmitDepth int
 }
 
 func (c Config) normalized() Config {
@@ -74,15 +101,23 @@ type Result struct {
 	Setting string `json:"setting"`
 	Queue   string `json:"queue"` // resolved sgx.QueueModel name
 	Config  Config `json:"config"`
-	// Requests is the number of requests served (Clients x
-	// RequestsPerClient).
+	// Requests is the number of logical requests that reached a
+	// terminal state (Clients x RequestsPerClient).
 	Requests int `json:"requests"`
+	// Succeeded and Failed split Requests into answered requests and
+	// requests dropped after exhausting their retry budget.
+	Succeeded int `json:"succeeded"`
+	Failed    int `json:"failed"`
 	// MakespanCycles is the virtual time from the first issue to the
-	// last completion; the scenario's simulated wall clock.
+	// last terminal event; the scenario's simulated wall clock.
 	MakespanCycles uint64 `json:"makespan_cycles"`
-	// ThroughputQPS is Requests over the makespan in platform seconds.
+	// ThroughputQPS counts every terminal request over the makespan in
+	// platform seconds; GoodputQPS counts only successes — the number
+	// the degradation gate compares.
 	ThroughputQPS float64 `json:"throughput_qps"`
+	GoodputQPS    float64 `json:"goodput_qps"`
 	// Latency percentiles (nearest-rank) over all requests, in cycles.
+	// A failed request's latency runs to the moment it was dropped.
 	P50 uint64 `json:"p50_cycles"`
 	P95 uint64 `json:"p95_cycles"`
 	P99 uint64 `json:"p99_cycles"`
@@ -91,26 +126,37 @@ type Result struct {
 	Breakdown Breakdown       `json:"breakdown"`
 	PerClient []ClientSummary `json:"per_client"`
 	PerClass  []ClassSummary  `json:"per_class"`
-	// Check folds every latency (in completion order), the breakdown
-	// and the makespan into one FNV-1a value — the deterministic number
-	// golden gates compare.
+	// Faults is the injected fault timeline (crashes and rebuild
+	// completions on the virtual clock), capped at maxFaultEvents;
+	// empty for fault-free scenarios. The Breakdown counters stay
+	// exact past the cap.
+	Faults []FaultEvent `json:"fault_events,omitempty"`
+	// Check folds every latency (in completion order), the breakdown,
+	// the outcome split and the makespan into one FNV-1a value — the
+	// deterministic number golden gates compare.
 	Check uint64 `json:"check"`
 }
 
-// Event kinds. Issue submits a client's next request (ECALL + queue
-// push), enqueue makes the pushed request poppable, done completes a
-// worker's request and lets it pop the next.
+// Event kinds. Issue submits a client's next attempt (ECALL + queue
+// push or shed), enqueue makes a pushed attempt poppable, done
+// completes a worker's execution, timeout abandons an attempt
+// client-side, crash kills a worker's enclave, rebuilt returns the
+// worker to the pool.
 const (
 	evIssue = iota
 	evEnqueue
 	evDone
+	evTimeout
+	evCrash
+	evRebuilt
 )
 
 type event struct {
 	t    uint64
 	seq  uint64 // schedule order: deterministic tie-break at equal times
 	kind int
-	who  int // client (evIssue), request index (evEnqueue), worker (evDone)
+	who  int    // client (evIssue), attempt (evEnqueue/evTimeout), worker (evDone/evCrash/evRebuilt)
+	gen  uint64 // worker generation (evDone): stale completions are ignored
 }
 
 type eventHeap []event
@@ -132,18 +178,37 @@ func (h *eventHeap) Pop() interface{} {
 	return x
 }
 
-type request struct {
-	client  int
-	class   int
-	issue   uint64 // client issue time
-	enq     uint64 // time it became poppable
-	service uint64
+// attempt is one issued try of a logical request.
+type attempt struct {
+	client    int
+	class     int
+	service   uint64
+	issue     uint64 // this attempt's issue time
+	enq       uint64 // time it became poppable
+	abandoned bool   // client gave up (deadline passed)
+	done      bool   // server finished it (or it was lost to a crash)
+}
+
+// clientState tracks one closed-loop client's current logical request.
+type clientState struct {
+	issued     int // logical requests issued so far
+	attempt    int // attempts used by the current logical request
+	class      int
+	service    uint64
+	firstIssue uint64
+	active     bool
 }
 
 type worker struct {
-	req  request
-	done uint64
-	busy bool
+	att       int
+	busy      bool
+	down      bool // enclave torn down, rebuild pending
+	inIdle    bool
+	gen       uint64
+	abort     bool   // planned transient abort of the running attempt
+	workDone  uint64 // planned executed work of the running attempt
+	nextCrash uint64
+	crashes   uint64 // per-worker crash count, salts the next schedule draw
 }
 
 // sim is the mutable state of one scenario replay.
@@ -152,30 +217,36 @@ type sim struct {
 	cfg   Config
 	q     sgx.QueueModel
 	trans uint64 // one-way transition cost (0 outside enclaves)
+	fc    sgx.FaultCosts
 
 	events eventHeap
 	seq    uint64
 
-	queue    []request // FIFO (head index to avoid O(n) shifts)
-	qHead    int
-	idle     []int // idle worker ids, FIFO
-	iHead    int
-	workers  []worker
-	pending  []request // requests between issue and enqueue
-	issued   []int     // per-client requests issued so far
-	lockFree uint64    // dispatch-lock state
-	edmmFree uint64    // enclave-global page-commit serialization
+	queue       []int // FIFO of attempt indices (head index avoids O(n) shifts)
+	qHead       int
+	idle        []int // idle worker ids, FIFO
+	iHead       int
+	workers     []worker
+	atts        []attempt
+	clients     []clientState
+	lockFree    uint64 // dispatch-lock state
+	edmmFree    uint64 // enclave-global page-commit serialization
+	rebuildFree uint64 // kernel enclave-management lock (crash rebuilds)
 
 	bd        Breakdown
-	lats      []uint64 // latency per request, completion order
+	lats      []uint64 // latency per logical request, terminal order
+	succeeded int
+	failed    int
 	makespan  uint64
 	perClient []ClientSummary
 	classReq  []int
 	classLat  []uint64
+	faults    []FaultEvent
 }
 
 // splitmix64 is the standard SplitMix64 mixer — the deterministic,
-// dependency-free randomness source for class picks and jitter.
+// dependency-free randomness source for class picks, jitter, fault
+// draws and backoff spread.
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
@@ -186,6 +257,11 @@ func splitmix64(x uint64) uint64 {
 func (s *sim) schedule(t uint64, kind, who int) {
 	s.seq++
 	heap.Push(&s.events, event{t: t, seq: s.seq, kind: kind, who: who})
+}
+
+func (s *sim) scheduleDone(t uint64, w int, gen uint64) {
+	s.seq++
+	heap.Push(&s.events, event{t: t, seq: s.seq, kind: evDone, who: w, gen: gen})
 }
 
 // lockPass runs one critical section of the dispatch lock starting at t
@@ -206,25 +282,50 @@ func (s *sim) lockPass(t uint64) uint64 {
 	return acquire + hold
 }
 
-// issue submits client c's next request at time t: the class pick, the
-// client's ECALL, the push through the dispatch lock, the EEXIT.
+// queued is the current dispatch-queue depth.
+func (s *sim) queued() int { return len(s.queue) - s.qHead }
+
+// issue submits client c's next attempt at time t: on a fresh logical
+// request the class pick and service draw, then the client's ECALL, the
+// push through the dispatch lock — where admission control may shed it
+// — and the EEXIT.
 func (s *sim) issue(c int, t uint64) {
-	k := s.issued[c]
-	r := splitmix64(s.cfg.Seed ^ uint64(c)<<32 ^ uint64(k))
-	class := s.pickClass(r)
-	base := s.w.Classes[class].ServiceCycles
-	service := base
-	if j := s.cfg.JitterPct; j > 0 {
-		// base scaled into [100-j, 100+j] percent, deterministically.
-		service = base * (100 - uint64(j) + splitmix64(r)%uint64(2*j+1)) / 100
+	cs := &s.clients[c]
+	if !cs.active {
+		r := splitmix64(s.cfg.Seed ^ uint64(c)<<32 ^ uint64(cs.issued))
+		cs.class = s.pickClass(r)
+		base := s.w.Classes[cs.class].ServiceCycles
+		cs.service = base
+		if j := s.cfg.JitterPct; j > 0 {
+			// base scaled into [100-j, 100+j] percent, deterministically.
+			cs.service = base * (100 - uint64(j) + splitmix64(r)%uint64(2*j+1)) / 100
+		}
+		cs.active = true
+		cs.attempt = 0
+		cs.firstIssue = t
 	}
+	cs.attempt++
 	if s.trans > 0 {
 		s.bd.Transitions += 2 // submit ECALL + EEXIT
 		s.bd.TransitionCycles += 2 * s.trans
 	}
 	pushDone := s.lockPass(t + s.trans)
-	s.pending = append(s.pending, request{client: c, class: class, issue: t, service: service})
-	s.schedule(pushDone, evEnqueue, len(s.pending)-1)
+	if s.cfg.AdmitDepth > 0 && s.queued() >= s.cfg.AdmitDepth {
+		// Admission control: the push found the queue at its depth
+		// limit and is rejected inside the same critical section — a
+		// cheap, immediate failure the client can back off from,
+		// instead of a request the pool would serve long past its
+		// deadline.
+		s.bd.Shed++
+		s.attemptFailed(c, pushDone)
+		return
+	}
+	s.atts = append(s.atts, attempt{client: c, class: cs.class, service: cs.service, issue: t})
+	idx := len(s.atts) - 1
+	s.schedule(pushDone, evEnqueue, idx)
+	if s.cfg.DeadlineCycles > 0 {
+		s.schedule(t+s.cfg.DeadlineCycles, evTimeout, idx)
+	}
 }
 
 func (s *sim) pickClass(r uint64) int {
@@ -246,13 +347,217 @@ func (s *sim) pickClass(r uint64) int {
 	return len(ws) - 1
 }
 
+// backoff returns attempt n's retry delay: capped exponential growth
+// from BackoffBase, with deterministic jitter spreading concurrent
+// retries over the top quarter of the interval.
+func (s *sim) backoff(c, n int) uint64 {
+	b := s.cfg.BackoffBase
+	if b == 0 {
+		return 0
+	}
+	for i := 1; i < n && i < 63; i++ {
+		b <<= 1
+		if bc := s.cfg.BackoffCap; bc > 0 && b >= bc {
+			b = bc
+			break
+		}
+	}
+	if j := b / 4; j > 0 {
+		r := splitmix64(s.cfg.Seed ^ 0x5bf03635c0ffee ^ uint64(c)<<24 ^ s.bd.Retries)
+		b = b - j + r%(2*j+1)
+	}
+	return b
+}
+
+// attemptFailed handles a retriable failure (shed, timeout, transient
+// abort, crash loss) of client c's current attempt at time t: back off
+// and retry if budget remains, otherwise drop the logical request.
+func (s *sim) attemptFailed(c int, t uint64) {
+	cs := &s.clients[c]
+	if cs.attempt <= s.cfg.MaxRetries {
+		s.bd.Retries++
+		s.schedule(t+s.backoff(c, cs.attempt), evIssue, c)
+		return
+	}
+	s.finishRequest(c, t, false)
+}
+
+// finishRequest records the terminal state of client c's current
+// logical request at time t and closes the client loop (think, then the
+// next logical request).
+func (s *sim) finishRequest(c int, t uint64, success bool) {
+	cs := &s.clients[c]
+	lat := t - cs.firstIssue
+	s.lats = append(s.lats, lat)
+	s.bd.Requests++
+	if success {
+		s.succeeded++
+	} else {
+		s.failed++
+	}
+	if t > s.makespan {
+		s.makespan = t
+	}
+	pc := &s.perClient[c]
+	pc.Requests++
+	pc.MeanCycles += lat // sum here; divided at the end
+	if lat > pc.MaxCycles {
+		pc.MaxCycles = lat
+	}
+	s.classReq[cs.class]++
+	s.classLat[cs.class] += lat
+	cs.active = false
+	if cs.issued < s.cfg.RequestsPerClient {
+		cs.issued++
+		s.schedule(t+s.cfg.ThinkCycles, evIssue, c)
+	}
+}
+
+// advanceWork executes work cycles of enclave execution starting at
+// wall time t under the fault plan's AEX storm windows: inside a
+// window, every StormAEXGap cycles of execution absorb one AEX of
+// FaultCosts.AEX wall cycles that advances no work. Returns the
+// completion time and the AEX count. Pure integer arithmetic — the
+// deterministic heart of the storm model.
+func (s *sim) advanceWork(t, work uint64) (uint64, uint64) {
+	p := s.cfg.Fault
+	if p == nil || p.StormInterval == 0 || work == 0 {
+		return t + work, 0
+	}
+	gap, aex := p.StormAEXGap, s.fc.AEX
+	var events uint64
+	for work > 0 {
+		k := t / p.StormInterval
+		ws := k * p.StormInterval
+		we := ws + p.StormLen
+		if k >= 1 && t < we {
+			// Inside a storm window: blocks of gap work cost gap+aex
+			// wall; the window end is a hard wall bound.
+			avail := we - t
+			blk := gap + aex
+			nb := avail / blk
+			rem := avail % blk
+			maxWork := nb*gap + min(rem, gap)
+			if work <= maxWork {
+				nFull := work / gap
+				events += nFull
+				return t + work + nFull*aex, events
+			}
+			work -= maxWork
+			events += nb
+			if rem >= gap {
+				events++ // the partial block's AEX straddles the window end
+			}
+			t = we
+		} else {
+			// Outside any window: run plainly until the next one opens.
+			nw := (k + 1) * p.StormInterval
+			span := nw - t
+			if work <= span {
+				return t + work, events
+			}
+			work -= span
+			t = nw
+		}
+	}
+	return t, events
+}
+
+// crash kills worker w's enclave at time t: the in-flight attempt (if
+// any) is lost, and the worker leaves the pool for teardown plus a
+// rebuild serialized on the kernel's enclave-management lock.
+func (s *sim) crash(w int, t uint64) {
+	wk := &s.workers[w]
+	wk.crashes++
+	s.bd.Crashes++
+	s.recordFault(FaultEvent{T: t, Kind: "crash", Worker: w})
+	if wk.busy {
+		wk.gen++ // the pending evDone is now stale
+		wk.busy = false
+		att := &s.atts[wk.att]
+		if !att.done {
+			att.done = true
+			if !att.abandoned {
+				s.attemptFailed(att.client, t)
+			}
+		}
+	}
+	wk.down = true
+	pages := s.cfg.Fault.RebuildPages
+	if pages == 0 {
+		for _, cc := range s.w.Classes {
+			pages += cc.Pages
+		}
+	}
+	start := t + s.fc.Teardown
+	if s.rebuildFree > start {
+		start = s.rebuildFree
+	}
+	done := start + s.fc.RebuildBase + uint64(pages)*s.fc.RebuildPage
+	s.rebuildFree = done
+	s.bd.RebuildCycles += done - t
+	s.schedule(done, evRebuilt, w)
+	// The replacement enclave's own crash clock starts after the
+	// rebuild completes.
+	wk.nextCrash = done + s.crashDelay(w, wk.crashes)
+	s.schedule(wk.nextCrash, evCrash, w)
+}
+
+// crashDelay draws worker w's deterministic time-to-next-crash: spread
+// over [interval/2, 3*interval/2) so the pool's enclaves neither die in
+// lockstep nor settle into one stable phase.
+func (s *sim) crashDelay(w int, nth uint64) uint64 {
+	p := s.cfg.Fault
+	r := splitmix64(p.Seed ^ 0xc4a54ed ^ uint64(w)<<32 ^ nth)
+	return p.CrashInterval/2 + r%p.CrashInterval
+}
+
+func (s *sim) recordFault(e FaultEvent) {
+	if len(s.faults) < maxFaultEvents {
+		s.faults = append(s.faults, e)
+	}
+}
+
+// popIdle returns an idle, alive worker id, or -1. Crashed workers that
+// were idle stay in the FIFO as tombstones and are skipped here; they
+// re-enter via evRebuilt.
+func (s *sim) popIdle() int {
+	for s.iHead < len(s.idle) {
+		w := s.idle[s.iHead]
+		s.iHead++
+		if s.iHead == len(s.idle) { // compact the drained FIFO
+			s.idle = s.idle[:0]
+			s.iHead = 0
+		}
+		s.workers[w].inIdle = false
+		if !s.workers[w].down {
+			return w
+		}
+	}
+	return -1
+}
+
+func (s *sim) pushIdle(w int) {
+	if !s.workers[w].inIdle {
+		s.workers[w].inIdle = true
+		s.idle = append(s.idle, w)
+	}
+}
+
 // dispatch has worker w pop the queue head at time t and computes the
-// request's full execution timeline.
+// attempt's execution timeline: pop through the dispatch lock, worker
+// ECALL, page commits, service stretched by any AEX storm windows, a
+// possible transient abort, worker EEXIT.
 func (s *sim) dispatch(w int, t uint64) {
 	popDone := s.lockPass(t)
-	r := s.queue[s.qHead]
+	idx := s.queue[s.qHead]
 	s.qHead++
-	s.bd.QueueWaitCycles += popDone - r.enq
+	if s.qHead == len(s.queue) {
+		s.queue = s.queue[:0]
+		s.qHead = 0
+	}
+	att := &s.atts[idx]
+	s.bd.QueueWaitCycles += popDone - att.enq
 
 	start := popDone + s.trans // worker ECALL
 	if s.trans > 0 {
@@ -260,7 +565,7 @@ func (s *sim) dispatch(w int, t uint64) {
 		s.bd.TransitionCycles += 2 * s.trans
 	}
 	if s.cfg.Mem == MemDynamic {
-		pages := uint64(s.w.Classes[r.class].Pages)
+		pages := uint64(s.w.Classes[att.class].Pages)
 		s.bd.PagesCommitted += pages
 		if s.w.InEnclave {
 			// EDMM: the worker runs the AEX/EACCEPT protocol for its own
@@ -281,72 +586,75 @@ func (s *sim) dispatch(w int, t uint64) {
 			start += cost
 		}
 	}
-	done := start + r.service + s.trans // service, then worker EEXIT
-	s.bd.ServiceCycles += r.service
-	s.workers[w] = worker{req: r, done: done, busy: true}
-	s.schedule(done, evDone, w)
+	wk := &s.workers[w]
+	wk.gen++
+	wk.busy = true
+	wk.att = idx
+	wk.abort = false
+	work := att.service
+	if p := s.cfg.Fault; p != nil && p.FailPct > 0 {
+		fr := splitmix64(p.Seed ^ 0xfa17 ^ uint64(idx)<<16)
+		if int(fr%100) < p.FailPct {
+			// Transient enclave-thread abort after a deterministic
+			// fraction of the service: the partial work is wasted.
+			wk.abort = true
+			work = att.service * (1 + (fr>>8)%98) / 100
+		}
+	}
+	end, aexN := s.advanceWork(start, work)
+	s.bd.AEXEvents += aexN
+	s.bd.AEXCycles += aexN * s.fc.AEX
+	s.bd.ServiceCycles += work
+	wk.workDone = work
+	if wk.abort {
+		end += s.fc.AbortDetect
+	}
+	done := end + s.trans // worker EEXIT
+	s.scheduleDone(done, w, wk.gen)
 }
 
-// complete finishes worker w's request at time t and closes the client
-// loop (think, then next issue).
+// complete finishes worker w's execution at time t: a successful,
+// un-abandoned attempt answers its client; an aborted one triggers the
+// retry path; an abandoned one was wasted work. Either way the freed
+// worker pops the next queued attempt.
 func (s *sim) complete(w int, t uint64) {
-	r := s.workers[w].req
-	s.workers[w].busy = false
-	lat := t - r.issue
-	s.lats = append(s.lats, lat)
-	s.bd.Requests++
+	wk := &s.workers[w]
+	wk.busy = false
+	att := &s.atts[wk.att]
+	att.done = true
+	if !att.abandoned {
+		if wk.abort {
+			s.attemptFailed(att.client, t)
+		} else {
+			s.finishRequest(att.client, t, true)
+		}
+	}
 	if t > s.makespan {
 		s.makespan = t
 	}
-	cs := &s.perClient[r.client]
-	cs.Requests++
-	cs.MeanCycles += lat // sum here; divided at the end
-	if lat > cs.MaxCycles {
-		cs.MaxCycles = lat
-	}
-	s.classReq[r.class]++
-	s.classLat[r.class] += lat
-	if s.issued[r.client] < s.cfg.RequestsPerClient {
-		s.issued[r.client]++
-		s.schedule(t+s.cfg.ThinkCycles, evIssue, r.client)
-	}
-	// The freed worker pops the next request, if any.
-	if s.qHead < len(s.queue) {
+	if s.queued() > 0 {
 		s.dispatch(w, t)
 	} else {
-		s.idle = append(s.idle, w)
+		s.pushIdle(w)
 	}
 }
 
 // Simulate replays one serving scenario over the calibrated workload.
 // Pure integer event-driven arithmetic on the virtual clock: the result
-// is bit-reproducible across runs and engine paths.
-func (w *Workload) Simulate(cfg Config) *Result {
+// is bit-reproducible across runs and engine paths. A structurally
+// invalid Config (see Config.Validate) returns an error instead of a
+// skewed replay.
+func (w *Workload) Simulate(cfg Config) (*Result, error) {
+	if err := cfg.Validate(len(w.Classes)); err != nil {
+		return nil, err
+	}
 	cfg = cfg.normalized()
-	if len(w.Classes) == 0 {
-		panic("serve: Simulate over a workload with no classes")
-	}
-	if cfg.Weights != nil {
-		if len(cfg.Weights) != len(w.Classes) {
-			panic(fmt.Sprintf("serve: %d weights for %d classes", len(cfg.Weights), len(w.Classes)))
-		}
-		total := 0
-		for _, wt := range cfg.Weights {
-			if wt < 0 {
-				panic(fmt.Sprintf("serve: negative class weight %d", wt))
-			}
-			total += wt
-		}
-		if total == 0 {
-			panic("serve: class weights sum to zero")
-		}
-	}
 	s := &sim{
 		w:         w,
 		cfg:       cfg,
 		q:         w.queueModel(cfg.Sync),
 		workers:   make([]worker, cfg.Workers),
-		issued:    make([]int, cfg.Clients),
+		clients:   make([]clientState, cfg.Clients),
 		perClient: make([]ClientSummary, cfg.Clients),
 		classReq:  make([]int, len(w.Classes)),
 		classLat:  make([]uint64, len(w.Classes)),
@@ -354,11 +662,18 @@ func (w *Workload) Simulate(cfg Config) *Result {
 	if w.InEnclave {
 		s.trans = w.OS.Transition
 	}
+	if cfg.Fault != nil {
+		s.fc = cfg.Fault.costs()
+	}
 	for wi := 0; wi < cfg.Workers; wi++ {
-		s.idle = append(s.idle, wi)
+		s.pushIdle(wi)
+		if cfg.Fault != nil && cfg.Fault.CrashInterval > 0 {
+			s.workers[wi].nextCrash = s.crashDelay(wi, 0)
+			s.schedule(s.workers[wi].nextCrash, evCrash, wi)
+		}
 	}
 	for c := 0; c < cfg.Clients; c++ {
-		s.issued[c] = 1
+		s.clients[c].issued = 1
 		s.schedule(0, evIssue, c)
 	}
 	// (heap.Push from an empty heap maintains the invariant throughout;
@@ -369,23 +684,50 @@ func (w *Workload) Simulate(cfg Config) *Result {
 		case evIssue:
 			s.issue(ev.who, ev.t)
 		case evEnqueue:
-			r := s.pending[ev.who]
-			r.enq = ev.t
-			s.queue = append(s.queue, r)
-			if s.iHead < len(s.idle) {
-				wi := s.idle[s.iHead]
-				s.iHead++
-				if s.iHead == len(s.idle) { // compact the drained FIFO
-					s.idle = s.idle[:0]
-					s.iHead = 0
-				}
+			att := &s.atts[ev.who]
+			if att.abandoned {
+				// The deadline expired before the push even landed; the
+				// client is already retrying.
+				att.done = true
+				break
+			}
+			att.enq = ev.t
+			s.queue = append(s.queue, ev.who)
+			if wi := s.popIdle(); wi >= 0 {
 				s.dispatch(wi, ev.t)
 			}
 		case evDone:
-			s.complete(ev.who, ev.t)
+			if wk := &s.workers[ev.who]; wk.busy && wk.gen == ev.gen {
+				s.complete(ev.who, ev.t)
+			}
+		case evTimeout:
+			att := &s.atts[ev.who]
+			if !att.done && !att.abandoned {
+				att.abandoned = true
+				s.bd.Timeouts++
+				s.attemptFailed(att.client, ev.t)
+			}
+		case evCrash:
+			s.crash(ev.who, ev.t)
+		case evRebuilt:
+			wk := &s.workers[ev.who]
+			wk.down = false
+			s.recordFault(FaultEvent{T: ev.t, Kind: "rebuilt", Worker: ev.who})
+			if s.queued() > 0 {
+				s.dispatch(ev.who, ev.t)
+			} else {
+				s.pushIdle(ev.who)
+			}
+		}
+		// Crash schedules stop once every client is done: without this
+		// the crash-interval event chain would keep the loop alive
+		// long after the last request completed. Terminal requests are
+		// exactly Clients*RequestsPerClient, each counted once.
+		if int(s.bd.Requests) == cfg.Clients*cfg.RequestsPerClient {
+			break
 		}
 	}
-	return s.result()
+	return s.result(), nil
 }
 
 // pctl returns the nearest-rank p-th percentile of the sorted latencies.
@@ -406,12 +748,17 @@ func (s *sim) result() *Result {
 		Queue:          s.q.Name,
 		Config:         s.cfg,
 		Requests:       len(s.lats),
+		Succeeded:      s.succeeded,
+		Failed:         s.failed,
 		MakespanCycles: s.makespan,
 		Breakdown:      s.bd,
 		PerClient:      s.perClient,
+		Faults:         s.faults,
 	}
 	if s.makespan > 0 {
-		res.ThroughputQPS = float64(res.Requests) / s.w.Plat.CyclesToSeconds(s.makespan)
+		secs := s.w.Plat.CyclesToSeconds(s.makespan)
+		res.ThroughputQPS = float64(res.Requests) / secs
+		res.GoodputQPS = float64(res.Succeeded) / secs
 	}
 	sorted := append([]uint64(nil), s.lats...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
@@ -438,11 +785,14 @@ func (s *sim) result() *Result {
 }
 
 // check folds the scenario's observable behaviour into one FNV-1a value:
-// every latency in completion order, the breakdown, the makespan and the
-// class mix. Shares the hash discipline of the pipeline check values.
+// every latency in completion order, the outcome split, the breakdown,
+// the makespan and the class mix. Shares the hash discipline of the
+// pipeline check values.
 func (s *sim) check(res *Result) uint64 {
 	h := agg.FNVOffset64
 	h = agg.Mix(h, uint64(res.Requests))
+	h = agg.Mix(h, uint64(res.Succeeded))
+	h = agg.Mix(h, uint64(res.Failed))
 	h = agg.Mix(h, res.MakespanCycles)
 	for _, l := range s.lats {
 		h = agg.Mix(h, l)

@@ -1,0 +1,51 @@
+package sgx
+
+// FaultCosts parameterizes the enclave failure model: what the runtime
+// pays when an enclave is interrupted, when a thread inside it aborts,
+// and when the whole enclave must be torn down and rebuilt.
+//
+// The paper's SGXv2 numbers are dominated by transition-shaped costs
+// (Section 4.1: ~8k cycles per one-way transition, EDMM page commits
+// serialized enclave-wide). The failure paths scale the same building
+// blocks up: an asynchronous exit (AEX) is an involuntary transition
+// round trip with TLB and state-save overhead; a crashed enclave can
+// only be recovered by running the whole ECREATE/EADD/EEXTEND/EINIT
+// build sequence again, page by page, serialized on the same kernel
+// paths that serialize EDMM commits.
+type FaultCosts struct {
+	// AEX is one asynchronous enclave exit and its ERESUME: the
+	// hardware saves the enclave state (SSA frame), exits, the kernel
+	// services the interrupt, and ERESUME restores. Charged per AEX
+	// during an interrupt storm; slightly below a full ECALL/EEXIT pair
+	// because no SDK marshalling runs.
+	AEX uint64
+	// AbortDetect is the SDK-level cost of detecting a transient
+	// enclave-thread abort (EENTER into a poisoned TCS, error
+	// propagation back out to the caller).
+	AbortDetect uint64
+	// Teardown is the bulk EREMOVE of a dead enclave's pages plus the
+	// kernel bookkeeping to release its EPC.
+	Teardown uint64
+	// RebuildBase is the fixed cost of bringing a replacement enclave
+	// up: ECREATE, EINIT (launch-token / attestation path) and SDK
+	// runtime re-initialization. EINIT alone is measured in the
+	// hundreds of microseconds.
+	RebuildBase uint64
+	// RebuildPage is the per-page EADD+EEXTEND cost of reloading the
+	// enclave's initial image and heap. Rebuilds serialize on the same
+	// kernel enclave-management lock as EDMM commits, so concurrent
+	// crashes queue behind each other.
+	RebuildPage uint64
+}
+
+// DefaultFaultCosts returns the calibrated failure cost set, in the
+// same cycle units as DefaultOSCosts (3.9 GHz Xeon Gold 6326 scale).
+func DefaultFaultCosts() FaultCosts {
+	return FaultCosts{
+		AEX:         7000,      // ~1.8 us: involuntary exit + ERESUME
+		AbortDetect: 2000,      // error path through the SDK dispatcher
+		Teardown:    200_000,   // bulk EREMOVE + EPC release
+		RebuildBase: 1_500_000, // ECREATE + EINIT + runtime re-init (~0.4 ms)
+		RebuildPage: 1200,      // EADD + EEXTEND per 4 KiB page
+	}
+}
