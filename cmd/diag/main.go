@@ -8,6 +8,7 @@
 //	go run ./cmd/diag [-alg RHO] [-setting plain|plainm|doe|die] [-scale 128] [-threads 16] [-opt]
 //	go run ./cmd/diag -query q2.filter-join-agg -setting die [-threads 4]
 //	go run ./cmd/diag -serve -setting die [-sync mutex] [-mem dyn] [-clients 32] [-workers 16]
+//	go run ./cmd/diag -serve -setting die -dispatch shard -batch 16 -arrival poisson -gap 100000
 //	go run ./cmd/diag -epc -setting die [-ratio 2] [-scale 512] [-threads 4]
 //	go run ./cmd/diag -fault -setting die [-admit 12] [-clients 64] [-workers 8]
 package main
@@ -46,6 +47,15 @@ var (
 	syncName  = flag.String("sync", "mutex", "serve: dispatch queue sync model: mutex, spin or lockfree")
 	memName   = flag.String("mem", "pre", "serve: memory mode: pre (pre-sized) or dyn (EDMM / minor faults)")
 	think     = flag.Uint64("think", 0, "serve: client think time between requests (cycles)")
+
+	// Production-scale serving knobs (-serve / -fault): dispatch shape,
+	// enclave-entry batching and open-loop traffic.
+	dispatchName = flag.String("dispatch", "global", "serve: dispatch shape: global (one lock-free/mutex queue) or shard (per-worker queues with work stealing)")
+	batch        = flag.Int("batch", 0, "serve: max queued requests coalesced per enclave entry (0 or 1: unbatched)")
+	arrivalName  = flag.String("arrival", "", "serve: open-loop arrival process: uniform, poisson, bursty, diurnal or heavytail (empty: closed loop)")
+	gapCycles    = flag.Uint64("gap", 300_000, "serve: open-loop mean inter-arrival gap per client (cycles)")
+	burstSize    = flag.Int("burst", 8, "serve: burst length for -arrival bursty")
+	rampCycles   = flag.Uint64("ramp", 8_000_000, "serve: full diurnal period for -arrival diurnal (cycles)")
 
 	// EPC oversubscription mode (-epc): the demand-paging diagnostics.
 	epcMode  = flag.Bool("epc", false, "run the spill/naive operator pairs under a capacity-limited enclave and print the paging breakdown")
@@ -258,6 +268,25 @@ func runServe(plat *platform.Platform, setting core.Setting) {
 		flag.Usage()
 		os.Exit(2)
 	}
+	disp, err := serve.ParseDispatchKind(*dispatchName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "diag: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	var arrival *serve.ArrivalPlan
+	if *arrivalName != "" {
+		kind, err := serve.ParseArrivalKind(*arrivalName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "diag: %v\n", err)
+			flag.Usage()
+			os.Exit(2)
+		}
+		arrival = &serve.ArrivalPlan{
+			Kind: kind, MeanGapCycles: *gapCycles,
+			BurstSize: *burstSize, RampPeriodCycles: *rampCycles,
+		}
+	}
 	w, err := serve.Calibrate(serve.CalibrateOptions{Plat: plat, Setting: setting})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "diag: %v\n", err)
@@ -270,6 +299,12 @@ func runServe(plat *platform.Platform, setting core.Setting) {
 	cfg := serve.Config{
 		Clients: *clients, Workers: *workers, RequestsPerClient: *requests,
 		Sync: sync, Mem: mm, ThinkCycles: *think, JitterPct: 10, Seed: 7,
+		Dispatch: disp, Batch: *batch, Arrival: arrival,
+	}
+	if arrival != nil {
+		// Open-loop scenarios pace themselves; think time is a
+		// closed-loop knob and Validate rejects the combination.
+		cfg.ThinkCycles = 0
 	}
 	var plan *serve.FaultPlan
 	if *faultMode {
@@ -294,7 +329,9 @@ func runServe(plat *platform.Platform, setting core.Setting) {
 			Costs:         fc,
 		}
 		cfg.Fault = plan
-		cfg.ThinkCycles = 12 * s
+		if arrival == nil {
+			cfg.ThinkCycles = 12 * s
+		}
 		cfg.DeadlineCycles = 7 * s
 		cfg.MaxRetries = 7
 		cfg.BackoffBase = s
@@ -306,6 +343,19 @@ func runServe(plat *platform.Platform, setting core.Setting) {
 		fmt.Fprintf(os.Stderr, "diag: %v\n", err)
 		os.Exit(1)
 	}
+	// Echo the full scenario shape so any run is reproducible from the
+	// diag output alone: traffic process, dispatch topology, batching.
+	traffic := fmt.Sprintf("closed loop (think=%d)", cfg.ThinkCycles)
+	if cfg.Arrival != nil {
+		traffic = "open loop: " + cfg.Arrival.String()
+	}
+	shards := 1
+	if cfg.Dispatch == serve.DispatchSharded {
+		shards = cfg.Workers
+	}
+	fmt.Printf("\nscenario: clients=%d workers=%d requests/client=%d seed=%d\n",
+		cfg.Clients, cfg.Workers, cfg.RequestsPerClient, cfg.Seed)
+	fmt.Printf("scenario: %s  dispatch=%s (%d shards) batch=%d\n", traffic, cfg.Dispatch, shards, cfg.Batch)
 	fmt.Printf("\n%s %s queue=%q mem=%s: %d requests, makespan=%d cycles, %.0f q/s\n",
 		res.Setting, sync, res.Queue, mm, res.Requests, res.MakespanCycles, res.ThroughputQPS)
 	if *faultMode {
@@ -321,6 +371,10 @@ func runServe(plat *platform.Platform, setting core.Setting) {
 	fmt.Printf("  %-12s %14d  (%d pages)\n", "page commit", b.CommitCycles, b.PagesCommitted)
 	fmt.Printf("  %-12s %14d\n", "commit wait", b.CommitWaitCycles)
 	fmt.Printf("  %-12s %14d\n", "service", b.ServiceCycles)
+	if ds := res.DispatchStats; ds != (serve.DispatchStats{}) {
+		fmt.Printf("dispatch: steals=%d stolenAttempts=%d batches=%d batchedAttempts=%d\n",
+			ds.Steals, ds.StolenAttempts, ds.Batches, ds.BatchedAttempts)
+	}
 	if *faultMode {
 		fmt.Printf("  %-12s %14d  (%d AEX events)\n", "aex", b.AEXCycles, b.AEXEvents)
 		fmt.Printf("  %-12s %14d  (%d crashes)\n", "rebuild", b.RebuildCycles, b.Crashes)

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"fmt"
+	"reflect"
+
+	"sgxbench/internal/agg"
+)
+
+// DispatchKind selects how submitted attempts reach workers.
+type DispatchKind int
+
+const (
+	// DispatchGlobal is the original single shared queue: every push and
+	// pop serializes on one dispatch lock.
+	DispatchGlobal DispatchKind = iota
+	// DispatchSharded gives every worker its own queue (same sync model
+	// per shard). Clients spread submissions round-robin; a worker that
+	// drains its own shard steals the oldest half of a seeded-order
+	// victim's queue, so the pool stays work-conserving without a
+	// global lock.
+	DispatchSharded
+)
+
+func (d DispatchKind) String() string {
+	switch d {
+	case DispatchGlobal:
+		return "global"
+	case DispatchSharded:
+		return "shard"
+	}
+	return fmt.Sprintf("dispatch(%d)", int(d))
+}
+
+// ParseDispatchKind parses the String form (diag flags).
+func ParseDispatchKind(s string) (DispatchKind, error) {
+	for _, d := range []DispatchKind{DispatchGlobal, DispatchSharded} {
+		if d.String() == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown dispatch kind %q", s)
+}
+
+// DispatchStats counts the sharded/batched dispatch machinery's work,
+// kept separate from Breakdown so legacy scenarios' golden check values
+// stay bit-identical: the check folds these counters only for scenarios
+// that actually use the new machinery (see Config.extended). Follows the
+// Breakdown completeness discipline (Add/Sub/Fold cover every field,
+// pinned by tests).
+type DispatchStats struct {
+	// Batches counts worker enclave entries through the batched path;
+	// BatchedAttempts the attempts they carried (mean batch size =
+	// BatchedAttempts / Batches).
+	Batches         uint64 `json:"batches"`
+	BatchedAttempts uint64 `json:"batched_attempts"`
+	// Steals counts successful steal operations; StolenAttempts the
+	// attempts migrated (steal-half: ceil(victim depth / 2) each).
+	Steals         uint64 `json:"steals"`
+	StolenAttempts uint64 `json:"stolen_attempts"`
+}
+
+// Add accumulates o into d, field-wise.
+func (d *DispatchStats) Add(o DispatchStats) {
+	d.Batches += o.Batches
+	d.BatchedAttempts += o.BatchedAttempts
+	d.Steals += o.Steals
+	d.StolenAttempts += o.StolenAttempts
+}
+
+// Sub returns the field-wise difference d - o.
+func (d DispatchStats) Sub(o DispatchStats) DispatchStats {
+	d.Batches -= o.Batches
+	d.BatchedAttempts -= o.BatchedAttempts
+	d.Steals -= o.Steals
+	d.StolenAttempts -= o.StolenAttempts
+	return d
+}
+
+// Fold mixes every counter into h, in field order (reflective, so a new
+// counter is folded by construction).
+func (d DispatchStats) Fold(h uint64) uint64 {
+	v := reflect.ValueOf(d)
+	for i := 0; i < v.NumField(); i++ {
+		h = agg.Mix(h, v.Field(i).Uint())
+	}
+	return h
+}

@@ -156,6 +156,23 @@ func (c Config) Validate(nClasses int) error {
 	if c.BackoffCap > 0 && c.BackoffBase > c.BackoffCap {
 		return fmt.Errorf("serve: BackoffBase %d above BackoffCap %d", c.BackoffBase, c.BackoffCap)
 	}
+	if c.Dispatch != DispatchGlobal && c.Dispatch != DispatchSharded {
+		return fmt.Errorf("serve: unknown DispatchKind %d", int(c.Dispatch))
+	}
+	if c.Batch < 0 {
+		return fmt.Errorf("serve: negative Batch %d", c.Batch)
+	}
+	if c.ThinkHeavyTail && c.ThinkCycles == 0 {
+		return fmt.Errorf("serve: ThinkHeavyTail needs ThinkCycles > 0 (there is no tail on a zero pause)")
+	}
+	if c.Arrival != nil {
+		if err := c.Arrival.validate(); err != nil {
+			return err
+		}
+		if c.ThinkCycles > 0 || c.ThinkHeavyTail {
+			return fmt.Errorf("serve: think time is a closed-loop knob; an open-loop scenario (Arrival set) paces itself")
+		}
+	}
 	if c.Fault != nil {
 		if err := c.Fault.validate(); err != nil {
 			return err

@@ -79,6 +79,25 @@ func TestConfigValidate(t *testing.T) {
 		{"negative rebuild pages", func(c *serve.Config) {
 			c.Fault = &serve.FaultPlan{CrashInterval: 100, RebuildPages: -1}
 		}, "RebuildPages"},
+		{"unknown dispatch kind", func(c *serve.Config) { c.Dispatch = serve.DispatchKind(9) }, "DispatchKind"},
+		{"negative batch", func(c *serve.Config) { c.Batch = -4 }, "Batch"},
+		{"think tail without think", func(c *serve.Config) { c.ThinkHeavyTail = true }, "ThinkHeavyTail"},
+		{"arrival without gap", func(c *serve.Config) {
+			c.Arrival = &serve.ArrivalPlan{Kind: serve.ArrivalPoisson}
+		}, "MeanGapCycles"},
+		{"bursty without burst size", func(c *serve.Config) {
+			c.Arrival = &serve.ArrivalPlan{Kind: serve.ArrivalBursty, MeanGapCycles: 1000}
+		}, "BurstSize"},
+		{"diurnal ramp too short", func(c *serve.Config) {
+			c.Arrival = &serve.ArrivalPlan{Kind: serve.ArrivalDiurnal, MeanGapCycles: 1000, RampPeriodCycles: 15}
+		}, "RampPeriodCycles"},
+		{"unknown arrival kind", func(c *serve.Config) {
+			c.Arrival = &serve.ArrivalPlan{Kind: serve.ArrivalKind(7), MeanGapCycles: 1000}
+		}, "ArrivalKind"},
+		{"open loop with think time", func(c *serve.Config) {
+			c.ThinkCycles = 100
+			c.Arrival = &serve.ArrivalPlan{Kind: serve.ArrivalPoisson, MeanGapCycles: 1000}
+		}, "closed-loop knob"},
 	}
 	for _, tc := range cases {
 		c := ok

@@ -11,9 +11,10 @@ import (
 
 // Config describes one serving scenario over a calibrated Workload.
 type Config struct {
-	// Clients is the number of closed-loop clients: each has one request
-	// in flight, thinks for ThinkCycles after a response, then issues
-	// the next (default 1).
+	// Clients is the number of clients (default 1). Closed loop (nil
+	// Arrival): each has one request in flight, thinks for ThinkCycles
+	// after a response, then issues the next. Open loop (Arrival set):
+	// each issues on its own arrival clock regardless of responses.
 	Clients int
 	// Workers is the enclave worker-pool size (default 1).
 	Workers int
@@ -28,13 +29,37 @@ type Config struct {
 	// means uniform. Length must match the workload's class count.
 	Weights []int
 	// ThinkCycles is the client pause between a response and the next
-	// request; zero keeps every client saturating the pool.
+	// request; zero keeps every client saturating the pool. Ignored in
+	// open loop (Arrival non-nil).
 	ThinkCycles uint64
+	// ThinkHeavyTail spreads the closed-loop think time with the
+	// deterministic Pareto-like tail (mean stays ThinkCycles, a seeded
+	// minority of pauses stretch to ~10x). Requires ThinkCycles > 0.
+	ThinkHeavyTail bool
 	// JitterPct varies each request's service time deterministically by
 	// up to ±JitterPct percent (seeded; zero disables).
 	JitterPct int
-	// Seed drives the deterministic class picks and jitter.
+	// Seed drives the deterministic class picks, jitter, arrival gaps
+	// and steal victim order.
 	Seed uint64
+
+	// --- Production-scale dispatch knobs (all zero: the original
+	// single global queue with per-attempt enclave entries) ---
+
+	// Dispatch selects the queue topology: one global queue, or one
+	// queue per worker with deterministic work stealing.
+	Dispatch DispatchKind
+	// Batch lets a worker claim up to this many queued attempts in one
+	// dispatch-lock critical section and serve them in a single enclave
+	// entry, amortizing the two worker transitions (and any AEX-storm
+	// exposure) across the batch. Results are handed back as each
+	// attempt finishes (exit-less async completion); the worker's EEXIT
+	// happens once, after the batch. 0 or 1: the original
+	// one-attempt-per-entry path.
+	Batch int
+	// Arrival switches the scenario to open-loop traffic (see
+	// ArrivalPlan). Nil keeps the closed loop.
+	Arrival *ArrivalPlan
 
 	// --- Resilience knobs (all zero: the clean pre-fault behaviour) ---
 
@@ -57,11 +82,17 @@ type Config struct {
 	// lockstep. BackoffBase zero retries immediately.
 	BackoffBase uint64
 	BackoffCap  uint64
-	// AdmitDepth is the queue-depth admission limit: a submission that
-	// finds this many requests already queued is shed at the dispatch
-	// lock (a cheap rejection the client can retry) instead of
-	// deepening the queue. Zero: unbounded queue, never shed.
+	// AdmitDepth is the per-queue admission limit: a submission that
+	// finds its target queue this deep is shed at the dispatch lock (a
+	// cheap rejection the client can retry) instead of deepening the
+	// queue. Under DispatchSharded the limit applies per shard. Zero:
+	// unbounded queues, never shed.
 	AdmitDepth int
+
+	// useHeap replays the scenario on the original container/heap event
+	// queue instead of the timer wheel — the differential-test knob
+	// proving both orderings are bit-identical.
+	useHeap bool
 }
 
 func (c Config) normalized() Config {
@@ -75,6 +106,13 @@ func (c Config) normalized() Config {
 		c.RequestsPerClient = 1
 	}
 	return c
+}
+
+// extended reports whether the scenario uses the production-scale
+// machinery added after the original golden snapshots. The check value
+// folds DispatchStats only then, so legacy scenarios stay bit-identical.
+func (c Config) extended() bool {
+	return c.Dispatch != DispatchGlobal || c.Batch > 1 || c.Arrival != nil || c.ThinkHeavyTail
 }
 
 // Name returns the scenario's bench workload identifier.
@@ -123,9 +161,12 @@ type Result struct {
 	P99 uint64 `json:"p99_cycles"`
 	Max uint64 `json:"max_cycles"`
 
-	Breakdown Breakdown       `json:"breakdown"`
-	PerClient []ClientSummary `json:"per_client"`
-	PerClass  []ClassSummary  `json:"per_class"`
+	Breakdown Breakdown `json:"breakdown"`
+	// DispatchStats counts the sharded/batched dispatch machinery's
+	// work; all-zero for legacy global unbatched scenarios.
+	DispatchStats DispatchStats   `json:"dispatch_stats"`
+	PerClient     []ClientSummary `json:"per_client"`
+	PerClass      []ClassSummary  `json:"per_class"`
 	// Faults is the injected fault timeline (crashes and rebuild
 	// completions on the virtual clock), capped at maxFaultEvents;
 	// empty for fault-free scenarios. The Breakdown counters stay
@@ -137,11 +178,12 @@ type Result struct {
 	Check uint64 `json:"check"`
 }
 
-// Event kinds. Issue submits a client's next attempt (ECALL + queue
+// Event kinds. Issue submits a request's next attempt (ECALL + queue
 // push or shed), enqueue makes a pushed attempt poppable, done
-// completes a worker's execution, timeout abandons an attempt
+// completes a worker's enclave entry, timeout abandons an attempt
 // client-side, crash kills a worker's enclave, rebuilt returns the
-// worker to the pool.
+// worker to the pool, arrive starts an open-loop client's next logical
+// request, itemdone completes one attempt inside a batched entry.
 const (
 	evIssue = iota
 	evEnqueue
@@ -149,14 +191,16 @@ const (
 	evTimeout
 	evCrash
 	evRebuilt
+	evArrive
+	evItemDone
 )
 
 type event struct {
 	t    uint64
 	seq  uint64 // schedule order: deterministic tie-break at equal times
 	kind int
-	who  int    // client (evIssue), attempt (evEnqueue/evTimeout), worker (evDone/evCrash/evRebuilt)
-	gen  uint64 // worker generation (evDone): stale completions are ignored
+	who  int    // request (evIssue), attempt (evEnqueue/evTimeout/evItemDone), worker (evDone/evCrash/evRebuilt), client (evArrive)
+	gen  uint64 // worker generation (evDone/evItemDone): stale completions are ignored
 }
 
 type eventHeap []event
@@ -178,25 +222,44 @@ func (h *eventHeap) Pop() interface{} {
 	return x
 }
 
+// heapQueue adapts eventHeap to the eventQueue interface — the ordering
+// oracle the timer wheel is differentially tested against.
+type heapQueue struct{ h eventHeap }
+
+func (q *heapQueue) push(e event) { heap.Push(&q.h, e) }
+func (q *heapQueue) pop() event   { return heap.Pop(&q.h).(event) }
+func (q *heapQueue) empty() bool  { return len(q.h) == 0 }
+
+// request is one logical client request: the unit of the latency
+// percentiles and the retry budget. Closed loop keeps one live slot per
+// client; open loop appends a new one per arrival, so a client can have
+// several in flight.
+type request struct {
+	client     int
+	class      int
+	attempt    int // attempts used so far
+	service    uint64
+	firstIssue uint64
+	active     bool
+}
+
 // attempt is one issued try of a logical request.
 type attempt struct {
-	client    int
+	req       int
 	class     int
 	service   uint64
 	issue     uint64 // this attempt's issue time
 	enq       uint64 // time it became poppable
+	shard     int    // queue it was pushed to
+	worker    int    // worker executing it (batched path)
 	abandoned bool   // client gave up (deadline passed)
 	done      bool   // server finished it (or it was lost to a crash)
+	aborted   bool   // batched path: transient abort planned at dispatch
 }
 
-// clientState tracks one closed-loop client's current logical request.
+// clientState tracks one client's issue progress.
 type clientState struct {
-	issued     int // logical requests issued so far
-	attempt    int // attempts used by the current logical request
-	class      int
-	service    uint64
-	firstIssue uint64
-	active     bool
+	issued int // logical requests issued so far
 }
 
 type worker struct {
@@ -205,10 +268,31 @@ type worker struct {
 	down      bool // enclave torn down, rebuild pending
 	inIdle    bool
 	gen       uint64
-	abort     bool   // planned transient abort of the running attempt
-	workDone  uint64 // planned executed work of the running attempt
+	abort     bool  // planned transient abort of the running attempt (unbatched)
+	batch     []int // attempts of the running batched entry
+	steals    uint64
 	nextCrash uint64
 	crashes   uint64 // per-worker crash count, salts the next schedule draw
+}
+
+// shard is one dispatch queue with its own lock state. DispatchGlobal
+// uses a single shard; DispatchSharded one per worker.
+type shard struct {
+	queue    []int // FIFO of attempt indices (head index avoids O(n) shifts)
+	qHead    int
+	lockFree uint64 // this queue's dispatch-lock state
+}
+
+func (sh *shard) depth() int { return len(sh.queue) - sh.qHead }
+
+func (sh *shard) pop() int {
+	idx := sh.queue[sh.qHead]
+	sh.qHead++
+	if sh.qHead == len(sh.queue) {
+		sh.queue = sh.queue[:0]
+		sh.qHead = 0
+	}
+	return idx
 }
 
 // sim is the mutable state of one scenario replay.
@@ -219,21 +303,22 @@ type sim struct {
 	trans uint64 // one-way transition cost (0 outside enclaves)
 	fc    sgx.FaultCosts
 
-	events eventHeap
+	events eventQueue
 	seq    uint64
 
-	queue       []int // FIFO of attempt indices (head index avoids O(n) shifts)
-	qHead       int
-	idle        []int // idle worker ids, FIFO
+	shards      []shard
+	rr          uint64 // round-robin submission spread over shards
+	idle        []int  // idle worker ids, FIFO
 	iHead       int
 	workers     []worker
 	atts        []attempt
+	reqs        []request
 	clients     []clientState
-	lockFree    uint64 // dispatch-lock state
 	edmmFree    uint64 // enclave-global page-commit serialization
 	rebuildFree uint64 // kernel enclave-management lock (crash rebuilds)
 
 	bd        Breakdown
+	ds        DispatchStats
 	lats      []uint64 // latency per logical request, terminal order
 	succeeded int
 	failed    int
@@ -246,7 +331,7 @@ type sim struct {
 
 // splitmix64 is the standard SplitMix64 mixer — the deterministic,
 // dependency-free randomness source for class picks, jitter, fault
-// draws and backoff spread.
+// draws, arrival gaps, steal victim order and backoff spread.
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
@@ -256,75 +341,121 @@ func splitmix64(x uint64) uint64 {
 
 func (s *sim) schedule(t uint64, kind, who int) {
 	s.seq++
-	heap.Push(&s.events, event{t: t, seq: s.seq, kind: kind, who: who})
+	s.events.push(event{t: t, seq: s.seq, kind: kind, who: who})
 }
 
-func (s *sim) scheduleDone(t uint64, w int, gen uint64) {
+func (s *sim) scheduleGen(t uint64, kind, who int, gen uint64) {
 	s.seq++
-	heap.Push(&s.events, event{t: t, seq: s.seq, kind: evDone, who: w, gen: gen})
+	s.events.push(event{t: t, seq: s.seq, kind: kind, who: who, gen: gen})
 }
 
-// lockPass runs one critical section of the dispatch lock starting at t
-// and returns its completion time. The contention semantics mirror
-// exec.ReplayQueue: a thread that finds the lock taken waits out the
-// current hold plus the model's sleep latency, and a contended handover
-// extends the hold by the model's extension (the SGX SDK mutex keeps
-// the mutex locked across the owner's wake-up transitions).
-func (s *sim) lockPass(t uint64) uint64 {
+// lockPass runs one critical section of a shard's dispatch lock
+// starting at t and returns its completion time. The contention
+// semantics mirror exec.ReplayQueue: a thread that finds the lock taken
+// waits out the current hold plus the model's sleep latency, and a
+// contended handover extends the hold by the model's extension (the SGX
+// SDK mutex keeps the mutex locked across the owner's wake-up
+// transitions).
+func (s *sim) lockPass(sh *shard, t uint64) uint64 {
 	acquire := t
 	hold := s.q.PopCycles
-	if t < s.lockFree {
-		acquire = s.lockFree + s.q.SleepLatency
+	if t < sh.lockFree {
+		acquire = sh.lockFree + s.q.SleepLatency
 		hold += s.q.HoldExtension
 	}
-	s.lockFree = acquire + hold
+	sh.lockFree = acquire + hold
 	s.bd.LockCycles += acquire + hold - t
 	return acquire + hold
 }
 
-// queued is the current dispatch-queue depth.
-func (s *sim) queued() int { return len(s.queue) - s.qHead }
+func (s *sim) sharded() bool { return len(s.shards) > 1 }
 
-// issue submits client c's next attempt at time t: on a fresh logical
-// request the class pick and service draw, then the client's ECALL, the
-// push through the dispatch lock — where admission control may shed it
-// — and the EEXIT.
-func (s *sim) issue(c int, t uint64) {
-	cs := &s.clients[c]
-	if !cs.active {
-		r := splitmix64(s.cfg.Seed ^ uint64(c)<<32 ^ uint64(cs.issued))
-		cs.class = s.pickClass(r)
-		base := s.w.Classes[cs.class].ServiceCycles
-		cs.service = base
-		if j := s.cfg.JitterPct; j > 0 {
-			// base scaled into [100-j, 100+j] percent, deterministically.
-			cs.service = base * (100 - uint64(j) + splitmix64(r)%uint64(2*j+1)) / 100
-		}
-		cs.active = true
-		cs.attempt = 0
-		cs.firstIssue = t
+// pickShard spreads submissions round-robin over the shards — the
+// deterministic stand-in for a client-side shard choice.
+func (s *sim) pickShard() int {
+	if !s.sharded() {
+		return 0
 	}
-	cs.attempt++
+	si := int(s.rr % uint64(len(s.shards)))
+	s.rr++
+	return si
+}
+
+// drawService draws a class's jittered service time from the request's
+// class-pick random value.
+func (s *sim) drawService(class int, r uint64) uint64 {
+	base := s.w.Classes[class].ServiceCycles
+	if j := s.cfg.JitterPct; j > 0 {
+		// base scaled into [100-j, 100+j] percent, deterministically.
+		base = base * (100 - uint64(j) + splitmix64(r)%uint64(2*j+1)) / 100
+	}
+	return base
+}
+
+// issueReq submits request idx's next attempt at time t. In the closed
+// loop the request slot doubles as the client's current logical
+// request: an inactive slot means this is the fresh issue (class pick
+// and service draw happen now).
+func (s *sim) issueReq(idx int, t uint64) {
+	r := &s.reqs[idx]
+	if !r.active {
+		c := r.client
+		rnd := splitmix64(s.cfg.Seed ^ uint64(c)<<32 ^ uint64(s.clients[c].issued))
+		r.class = s.pickClass(rnd)
+		r.service = s.drawService(r.class, rnd)
+		r.active = true
+		r.attempt = 0
+		r.firstIssue = t
+	}
+	s.submit(idx, t)
+}
+
+// arrive starts open-loop client c's next logical request at time t and
+// schedules the following arrival — independent of any response, which
+// is what makes the load open-loop.
+func (s *sim) arrive(c int, t uint64) {
+	cs := &s.clients[c]
+	rnd := splitmix64(s.cfg.Seed ^ uint64(c)<<32 ^ uint64(cs.issued))
+	idx := len(s.reqs)
+	s.reqs = append(s.reqs, request{client: c, active: true, firstIssue: t})
+	r := &s.reqs[idx]
+	r.class = s.pickClass(rnd)
+	r.service = s.drawService(r.class, rnd)
+	s.submit(idx, t)
+	if cs.issued < s.cfg.RequestsPerClient {
+		cs.issued++
+		s.schedule(t+s.cfg.Arrival.gap(s.cfg.Seed, c, cs.issued, t), evArrive, c)
+	}
+}
+
+// submit pushes request idx's next attempt: the client's ECALL, the
+// push through the target shard's dispatch lock — where admission
+// control may shed it — and the EEXIT.
+func (s *sim) submit(idx int, t uint64) {
+	r := &s.reqs[idx]
+	r.attempt++
 	if s.trans > 0 {
 		s.bd.Transitions += 2 // submit ECALL + EEXIT
 		s.bd.TransitionCycles += 2 * s.trans
 	}
-	pushDone := s.lockPass(t + s.trans)
-	if s.cfg.AdmitDepth > 0 && s.queued() >= s.cfg.AdmitDepth {
+	si := s.pickShard()
+	sh := &s.shards[si]
+	pushDone := s.lockPass(sh, t+s.trans)
+	if s.cfg.AdmitDepth > 0 && sh.depth() >= s.cfg.AdmitDepth {
 		// Admission control: the push found the queue at its depth
 		// limit and is rejected inside the same critical section — a
 		// cheap, immediate failure the client can back off from,
 		// instead of a request the pool would serve long past its
 		// deadline.
 		s.bd.Shed++
-		s.attemptFailed(c, pushDone)
+		s.failAttempt(idx, pushDone)
 		return
 	}
-	s.atts = append(s.atts, attempt{client: c, class: cs.class, service: cs.service, issue: t})
-	idx := len(s.atts) - 1
-	s.schedule(pushDone, evEnqueue, idx)
+	s.atts = append(s.atts, attempt{req: idx, class: r.class, service: r.service, issue: t, shard: si, worker: -1})
+	ai := len(s.atts) - 1
+	s.schedule(pushDone, evEnqueue, ai)
 	if s.cfg.DeadlineCycles > 0 {
-		s.schedule(t+s.cfg.DeadlineCycles, evTimeout, idx)
+		s.schedule(t+s.cfg.DeadlineCycles, evTimeout, ai)
 	}
 }
 
@@ -369,25 +500,37 @@ func (s *sim) backoff(c, n int) uint64 {
 	return b
 }
 
-// attemptFailed handles a retriable failure (shed, timeout, transient
-// abort, crash loss) of client c's current attempt at time t: back off
-// and retry if budget remains, otherwise drop the logical request.
-func (s *sim) attemptFailed(c int, t uint64) {
-	cs := &s.clients[c]
-	if cs.attempt <= s.cfg.MaxRetries {
+// failAttempt handles a retriable failure (shed, timeout, transient
+// abort, crash loss) of request idx's current attempt at time t: back
+// off and retry if budget remains, otherwise drop the logical request.
+func (s *sim) failAttempt(idx int, t uint64) {
+	r := &s.reqs[idx]
+	if r.attempt <= s.cfg.MaxRetries {
 		s.bd.Retries++
-		s.schedule(t+s.backoff(c, cs.attempt), evIssue, c)
+		s.schedule(t+s.backoff(r.client, r.attempt), evIssue, idx)
 		return
 	}
-	s.finishRequest(c, t, false)
+	s.finishRequest(idx, t, false)
 }
 
-// finishRequest records the terminal state of client c's current
-// logical request at time t and closes the client loop (think, then the
+// think returns the closed-loop pause before client c's n-th logical
+// request: ThinkCycles, optionally stretched by the deterministic
+// heavy-tail table (mean preserved).
+func (s *sim) think(c, n int) uint64 {
+	tc := s.cfg.ThinkCycles
+	if !s.cfg.ThinkHeavyTail || tc == 0 {
+		return tc
+	}
+	r := splitmix64(s.cfg.Seed ^ 0x7417c0de ^ uint64(c)<<32 ^ uint64(n))
+	return tc * paretoGapQ16[r%64] >> 16
+}
+
+// finishRequest records the terminal state of request idx at time t;
+// in the closed loop it also closes the client loop (think, then the
 // next logical request).
-func (s *sim) finishRequest(c int, t uint64, success bool) {
-	cs := &s.clients[c]
-	lat := t - cs.firstIssue
+func (s *sim) finishRequest(idx int, t uint64, success bool) {
+	r := &s.reqs[idx]
+	lat := t - r.firstIssue
 	s.lats = append(s.lats, lat)
 	s.bd.Requests++
 	if success {
@@ -398,18 +541,21 @@ func (s *sim) finishRequest(c int, t uint64, success bool) {
 	if t > s.makespan {
 		s.makespan = t
 	}
-	pc := &s.perClient[c]
+	pc := &s.perClient[r.client]
 	pc.Requests++
 	pc.MeanCycles += lat // sum here; divided at the end
 	if lat > pc.MaxCycles {
 		pc.MaxCycles = lat
 	}
-	s.classReq[cs.class]++
-	s.classLat[cs.class] += lat
-	cs.active = false
-	if cs.issued < s.cfg.RequestsPerClient {
-		cs.issued++
-		s.schedule(t+s.cfg.ThinkCycles, evIssue, c)
+	s.classReq[r.class]++
+	s.classLat[r.class] += lat
+	r.active = false
+	if s.cfg.Arrival == nil {
+		cs := &s.clients[r.client]
+		if cs.issued < s.cfg.RequestsPerClient {
+			cs.issued++
+			s.schedule(t+s.think(r.client, cs.issued), evIssue, r.client)
+		}
 	}
 }
 
@@ -463,22 +609,35 @@ func (s *sim) advanceWork(t, work uint64) (uint64, uint64) {
 	return t, events
 }
 
-// crash kills worker w's enclave at time t: the in-flight attempt (if
-// any) is lost, and the worker leaves the pool for teardown plus a
-// rebuild serialized on the kernel's enclave-management lock.
+// crash kills worker w's enclave at time t: the in-flight attempt (or
+// whole in-flight batch) is lost, and the worker leaves the pool for
+// teardown plus a rebuild serialized on the kernel's
+// enclave-management lock.
 func (s *sim) crash(w int, t uint64) {
 	wk := &s.workers[w]
 	wk.crashes++
 	s.bd.Crashes++
 	s.recordFault(FaultEvent{T: t, Kind: "crash", Worker: w})
 	if wk.busy {
-		wk.gen++ // the pending evDone is now stale
+		wk.gen++ // pending evDone/evItemDone events are now stale
 		wk.busy = false
-		att := &s.atts[wk.att]
-		if !att.done {
-			att.done = true
-			if !att.abandoned {
-				s.attemptFailed(att.client, t)
+		if s.cfg.Batch > 1 {
+			for _, ai := range wk.batch {
+				att := &s.atts[ai]
+				if !att.done {
+					att.done = true
+					if !att.abandoned {
+						s.failAttempt(att.req, t)
+					}
+				}
+			}
+		} else {
+			att := &s.atts[wk.att]
+			if !att.done {
+				att.done = true
+				if !att.abandoned {
+					s.failAttempt(att.req, t)
+				}
 			}
 		}
 	}
@@ -519,8 +678,9 @@ func (s *sim) recordFault(e FaultEvent) {
 }
 
 // popIdle returns an idle, alive worker id, or -1. Crashed workers that
-// were idle stay in the FIFO as tombstones and are skipped here; they
-// re-enter via evRebuilt.
+// were idle stay in the FIFO as tombstones and are skipped here, as are
+// entries gone stale because claimWorker took their worker out of band;
+// crashed workers re-enter via evRebuilt.
 func (s *sim) popIdle() int {
 	for s.iHead < len(s.idle) {
 		w := s.idle[s.iHead]
@@ -528,6 +688,9 @@ func (s *sim) popIdle() int {
 		if s.iHead == len(s.idle) { // compact the drained FIFO
 			s.idle = s.idle[:0]
 			s.iHead = 0
+		}
+		if !s.workers[w].inIdle {
+			continue // stale: claimed out of band since it was pushed
 		}
 		s.workers[w].inIdle = false
 		if !s.workers[w].down {
@@ -544,19 +707,94 @@ func (s *sim) pushIdle(w int) {
 	}
 }
 
-// dispatch has worker w pop the queue head at time t and computes the
-// attempt's execution timeline: pop through the dispatch lock, worker
-// ECALL, page commits, service stretched by any AEX storm windows, a
-// possible transient abort, worker EEXIT.
-func (s *sim) dispatch(w int, t uint64) {
-	popDone := s.lockPass(t)
-	idx := s.queue[s.qHead]
-	s.qHead++
-	if s.qHead == len(s.queue) {
-		s.queue = s.queue[:0]
-		s.qHead = 0
+// claimWorker finds an idle worker for shard si's new work: under
+// sharded dispatch the shard's own worker has affinity (claimed out of
+// band, its idle-FIFO entry left behind as a stale tombstone), falling
+// back to the global idle FIFO either way.
+func (s *sim) claimWorker(si int) int {
+	if s.sharded() {
+		if wk := &s.workers[si]; wk.inIdle && !wk.down {
+			wk.inIdle = false
+			return si
+		}
 	}
+	return s.popIdle()
+}
+
+// homeShard is the queue worker w drains first: its own under sharded
+// dispatch, the global queue otherwise.
+func (s *sim) homeShard(w int) int {
+	if s.sharded() {
+		return w
+	}
+	return 0
+}
+
+// findWork is a freed (or rebuilt) worker's hunt at time t: drain the
+// home shard, else steal, else go idle.
+func (s *sim) findWork(w int, t uint64) {
+	home := s.homeShard(w)
+	if s.shards[home].depth() > 0 {
+		s.dispatch(w, home, t)
+		return
+	}
+	if s.sharded() && s.trySteal(w, t) {
+		return
+	}
+	s.pushIdle(w)
+}
+
+// trySteal has worker w probe the other shards in a seeded rotation and
+// migrate the oldest half of the first non-empty victim's queue to its
+// own, then dispatch from home. Two critical sections are charged: the
+// victim's (claim the half) and the home shard's (deposit); probing an
+// empty queue is free (an uncontended emptiness check).
+func (s *sim) trySteal(w int, t uint64) bool {
+	ns := len(s.shards)
+	if ns < 2 {
+		return false
+	}
+	wk := &s.workers[w]
+	r := splitmix64(s.cfg.Seed ^ 0x57ea1c0de ^ uint64(w)<<32 ^ wk.steals)
+	start := int(r % uint64(ns-1))
+	for i := 0; i < ns-1; i++ {
+		v := (w + 1 + (start+i)%(ns-1)) % ns
+		vic := &s.shards[v]
+		d := vic.depth()
+		if d == 0 {
+			continue
+		}
+		wk.steals++
+		s.ds.Steals++
+		k := (d + 1) / 2 // steal half, rounded up
+		tv := s.lockPass(vic, t)
+		home := &s.shards[w]
+		th := s.lockPass(home, tv)
+		for j := 0; j < k; j++ {
+			home.queue = append(home.queue, vic.pop())
+		}
+		s.ds.StolenAttempts += uint64(k)
+		s.dispatch(w, w, th)
+		return true
+	}
+	return false
+}
+
+// dispatch has worker w pop shard si at time t. Batch > 1 takes the
+// batched path; otherwise the original one-attempt-per-entry timeline:
+// pop through the dispatch lock, worker ECALL, page commits, service
+// stretched by any AEX storm windows, a possible transient abort,
+// worker EEXIT.
+func (s *sim) dispatch(w, si int, t uint64) {
+	if s.cfg.Batch > 1 {
+		s.dispatchBatch(w, si, t)
+		return
+	}
+	sh := &s.shards[si]
+	popDone := s.lockPass(sh, t)
+	idx := sh.pop()
 	att := &s.atts[idx]
+	att.worker = w
 	s.bd.QueueWaitCycles += popDone - att.enq
 
 	start := popDone + s.trans // worker ECALL
@@ -564,28 +802,7 @@ func (s *sim) dispatch(w int, t uint64) {
 		s.bd.Transitions += 2 // worker ECALL now, EEXIT at completion
 		s.bd.TransitionCycles += 2 * s.trans
 	}
-	if s.cfg.Mem == MemDynamic {
-		pages := uint64(s.w.Classes[att.class].Pages)
-		s.bd.PagesCommitted += pages
-		if s.w.InEnclave {
-			// EDMM: the worker runs the AEX/EACCEPT protocol for its own
-			// pages, and the kernel serializes commits enclave-wide.
-			commitStart := start
-			if s.edmmFree > commitStart {
-				commitStart = s.edmmFree
-			}
-			s.bd.CommitWaitCycles += commitStart - start
-			cost := pages * s.w.OS.EDMMPage
-			s.bd.CommitCycles += cost
-			start = commitStart + cost
-			s.edmmFree = start
-		} else {
-			// Plain minor faults: per-worker cost, no serialization.
-			cost := pages * s.w.OS.MinorFault
-			s.bd.CommitCycles += cost
-			start += cost
-		}
-	}
+	start = s.commitPages(att.class, start)
 	wk := &s.workers[w]
 	wk.gen++
 	wk.busy = true
@@ -605,38 +822,142 @@ func (s *sim) dispatch(w int, t uint64) {
 	s.bd.AEXEvents += aexN
 	s.bd.AEXCycles += aexN * s.fc.AEX
 	s.bd.ServiceCycles += work
-	wk.workDone = work
 	if wk.abort {
 		end += s.fc.AbortDetect
 	}
 	done := end + s.trans // worker EEXIT
-	s.scheduleDone(done, w, wk.gen)
+	s.scheduleGen(done, evDone, w, wk.gen)
 }
 
-// complete finishes worker w's execution at time t: a successful,
-// un-abandoned attempt answers its client; an aborted one triggers the
-// retry path; an abandoned one was wasted work. Either way the freed
-// worker pops the next queued attempt.
+// commitPages charges the dynamic-memory page commits for one attempt
+// of the given class starting at start, returning when execution can
+// begin. MemPreSized is free.
+func (s *sim) commitPages(class int, start uint64) uint64 {
+	if s.cfg.Mem != MemDynamic {
+		return start
+	}
+	pages := uint64(s.w.Classes[class].Pages)
+	s.bd.PagesCommitted += pages
+	if s.w.InEnclave {
+		// EDMM: the worker runs the AEX/EACCEPT protocol for its own
+		// pages, and the kernel serializes commits enclave-wide.
+		commitStart := start
+		if s.edmmFree > commitStart {
+			commitStart = s.edmmFree
+		}
+		s.bd.CommitWaitCycles += commitStart - start
+		cost := pages * s.w.OS.EDMMPage
+		s.bd.CommitCycles += cost
+		start = commitStart + cost
+		s.edmmFree = start
+		return start
+	}
+	// Plain minor faults: per-worker cost, no serialization.
+	cost := pages * s.w.OS.MinorFault
+	s.bd.CommitCycles += cost
+	return start + cost
+}
+
+// dispatchBatch has worker w claim up to Batch queued attempts from
+// shard si in ONE dispatch-lock critical section and serve them in ONE
+// enclave entry: a single worker ECALL/EEXIT pair brackets the whole
+// run, so the two transitions amortize across the batch. Each attempt's
+// result is handed back the moment it finishes (evItemDone — exit-less
+// async completion); the final evDone only frees the worker.
+func (s *sim) dispatchBatch(w, si int, t uint64) {
+	sh := &s.shards[si]
+	popDone := s.lockPass(sh, t)
+	n := sh.depth()
+	if n > s.cfg.Batch {
+		n = s.cfg.Batch
+	}
+	wk := &s.workers[w]
+	wk.gen++
+	wk.busy = true
+	wk.batch = wk.batch[:0]
+	s.ds.Batches++
+	s.ds.BatchedAttempts += uint64(n)
+	if s.trans > 0 {
+		s.bd.Transitions += 2 // one worker ECALL + EEXIT for the whole batch
+		s.bd.TransitionCycles += 2 * s.trans
+	}
+	start := popDone + s.trans // worker ECALL
+	for i := 0; i < n; i++ {
+		idx := sh.pop()
+		att := &s.atts[idx]
+		att.worker = w
+		wk.batch = append(wk.batch, idx)
+		s.bd.QueueWaitCycles += popDone - att.enq
+		start = s.commitPages(att.class, start)
+		work := att.service
+		if p := s.cfg.Fault; p != nil && p.FailPct > 0 {
+			fr := splitmix64(p.Seed ^ 0xfa17 ^ uint64(idx)<<16)
+			if int(fr%100) < p.FailPct {
+				att.aborted = true
+				work = att.service * (1 + (fr>>8)%98) / 100
+			}
+		}
+		end, aexN := s.advanceWork(start, work)
+		s.bd.AEXEvents += aexN
+		s.bd.AEXCycles += aexN * s.fc.AEX
+		s.bd.ServiceCycles += work
+		if att.aborted {
+			end += s.fc.AbortDetect
+		}
+		s.scheduleGen(end, evItemDone, idx, wk.gen)
+		start = end
+	}
+	done := start + s.trans // worker EEXIT after the batch
+	s.scheduleGen(done, evDone, w, wk.gen)
+}
+
+// itemDone completes one attempt of a batched entry at time t: the
+// response leaves through the exit-less completion queue while the
+// worker keeps running the rest of the batch.
+func (s *sim) itemDone(ai int, t uint64, gen uint64) {
+	att := &s.atts[ai]
+	wk := &s.workers[att.worker]
+	if wk.gen != gen {
+		return // the enclave crashed mid-batch; the attempt was re-routed
+	}
+	att.done = true
+	if t > s.makespan {
+		s.makespan = t
+	}
+	if att.abandoned {
+		return // wasted work: the client's deadline already passed
+	}
+	if att.aborted {
+		s.failAttempt(att.req, t)
+	} else {
+		s.finishRequest(att.req, t, true)
+	}
+}
+
+// complete finishes worker w's enclave entry at time t. Unbatched: a
+// successful, un-abandoned attempt answers its client, an aborted one
+// triggers the retry path, an abandoned one was wasted work. Batched:
+// the per-attempt outcomes already happened at their evItemDone times
+// and this is just the EEXIT. Either way the freed worker hunts for the
+// next work.
 func (s *sim) complete(w int, t uint64) {
 	wk := &s.workers[w]
 	wk.busy = false
-	att := &s.atts[wk.att]
-	att.done = true
-	if !att.abandoned {
-		if wk.abort {
-			s.attemptFailed(att.client, t)
-		} else {
-			s.finishRequest(att.client, t, true)
+	if s.cfg.Batch <= 1 {
+		att := &s.atts[wk.att]
+		att.done = true
+		if !att.abandoned {
+			if wk.abort {
+				s.failAttempt(att.req, t)
+			} else {
+				s.finishRequest(att.req, t, true)
+			}
 		}
 	}
 	if t > s.makespan {
 		s.makespan = t
 	}
-	if s.queued() > 0 {
-		s.dispatch(w, t)
-	} else {
-		s.pushIdle(w)
-	}
+	s.findWork(w, t)
 }
 
 // Simulate replays one serving scenario over the calibrated workload.
@@ -649,15 +970,25 @@ func (w *Workload) Simulate(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	cfg = cfg.normalized()
+	nShards := 1
+	if cfg.Dispatch == DispatchSharded {
+		nShards = cfg.Workers
+	}
 	s := &sim{
 		w:         w,
 		cfg:       cfg,
 		q:         w.queueModel(cfg.Sync),
+		shards:    make([]shard, nShards),
 		workers:   make([]worker, cfg.Workers),
 		clients:   make([]clientState, cfg.Clients),
 		perClient: make([]ClientSummary, cfg.Clients),
 		classReq:  make([]int, len(w.Classes)),
 		classLat:  make([]uint64, len(w.Classes)),
+	}
+	if cfg.useHeap {
+		s.events = &heapQueue{}
+	} else {
+		s.events = newTimerWheel()
 	}
 	if w.InEnclave {
 		s.trans = w.OS.Transition
@@ -672,17 +1003,29 @@ func (w *Workload) Simulate(cfg Config) (*Result, error) {
 			s.schedule(s.workers[wi].nextCrash, evCrash, wi)
 		}
 	}
-	for c := 0; c < cfg.Clients; c++ {
-		s.clients[c].issued = 1
-		s.schedule(0, evIssue, c)
+	if cfg.Arrival != nil {
+		// Open loop: one request slot per arrival, appended as clients'
+		// arrival clocks fire; the first arrival is one drawn gap in.
+		for c := 0; c < cfg.Clients; c++ {
+			s.clients[c].issued = 1
+			s.schedule(cfg.Arrival.gap(cfg.Seed, c, 0, 0), evArrive, c)
+		}
+	} else {
+		// Closed loop: request slot c is client c's live logical request.
+		s.reqs = make([]request, cfg.Clients)
+		for c := 0; c < cfg.Clients; c++ {
+			s.reqs[c].client = c
+			s.clients[c].issued = 1
+			s.schedule(0, evIssue, c)
+		}
 	}
-	// (heap.Push from an empty heap maintains the invariant throughout;
-	// no Init needed.)
-	for s.events.Len() > 0 {
-		ev := heap.Pop(&s.events).(event)
+	for !s.events.empty() {
+		ev := s.events.pop()
 		switch ev.kind {
 		case evIssue:
-			s.issue(ev.who, ev.t)
+			s.issueReq(ev.who, ev.t)
+		case evArrive:
+			s.arrive(ev.who, ev.t)
 		case evEnqueue:
 			att := &s.atts[ev.who]
 			if att.abandoned {
@@ -692,20 +1035,23 @@ func (w *Workload) Simulate(cfg Config) (*Result, error) {
 				break
 			}
 			att.enq = ev.t
-			s.queue = append(s.queue, ev.who)
-			if wi := s.popIdle(); wi >= 0 {
-				s.dispatch(wi, ev.t)
+			sh := &s.shards[att.shard]
+			sh.queue = append(sh.queue, ev.who)
+			if wi := s.claimWorker(att.shard); wi >= 0 {
+				s.dispatch(wi, att.shard, ev.t)
 			}
 		case evDone:
 			if wk := &s.workers[ev.who]; wk.busy && wk.gen == ev.gen {
 				s.complete(ev.who, ev.t)
 			}
+		case evItemDone:
+			s.itemDone(ev.who, ev.t, ev.gen)
 		case evTimeout:
 			att := &s.atts[ev.who]
 			if !att.done && !att.abandoned {
 				att.abandoned = true
 				s.bd.Timeouts++
-				s.attemptFailed(att.client, ev.t)
+				s.failAttempt(att.req, ev.t)
 			}
 		case evCrash:
 			s.crash(ev.who, ev.t)
@@ -713,11 +1059,7 @@ func (w *Workload) Simulate(cfg Config) (*Result, error) {
 			wk := &s.workers[ev.who]
 			wk.down = false
 			s.recordFault(FaultEvent{T: ev.t, Kind: "rebuilt", Worker: ev.who})
-			if s.queued() > 0 {
-				s.dispatch(ev.who, ev.t)
-			} else {
-				s.pushIdle(ev.who)
-			}
+			s.findWork(ev.who, ev.t)
 		}
 		// Crash schedules stop once every client is done: without this
 		// the crash-interval event chain would keep the loop alive
@@ -752,6 +1094,7 @@ func (s *sim) result() *Result {
 		Failed:         s.failed,
 		MakespanCycles: s.makespan,
 		Breakdown:      s.bd,
+		DispatchStats:  s.ds,
 		PerClient:      s.perClient,
 		Faults:         s.faults,
 	}
@@ -786,8 +1129,10 @@ func (s *sim) result() *Result {
 
 // check folds the scenario's observable behaviour into one FNV-1a value:
 // every latency in completion order, the outcome split, the breakdown,
-// the makespan and the class mix. Shares the hash discipline of the
-// pipeline check values.
+// the makespan and the class mix — plus the dispatch counters for
+// scenarios using the production-scale machinery (legacy scenarios keep
+// their original fold so old golden snapshots never drift). Shares the
+// hash discipline of the pipeline check values.
 func (s *sim) check(res *Result) uint64 {
 	h := agg.FNVOffset64
 	h = agg.Mix(h, uint64(res.Requests))
@@ -800,6 +1145,9 @@ func (s *sim) check(res *Result) uint64 {
 	h = res.Breakdown.Fold(h)
 	for i := range s.classReq {
 		h = agg.Mix(h, uint64(s.classReq[i]))
+	}
+	if s.cfg.extended() {
+		h = res.DispatchStats.Fold(h)
 	}
 	return h
 }
