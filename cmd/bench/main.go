@@ -46,6 +46,7 @@ import (
 	"sgxbench/internal/engine"
 	"sgxbench/internal/join"
 	"sgxbench/internal/kernels"
+	"sgxbench/internal/obs"
 	"sgxbench/internal/platform"
 	"sgxbench/internal/query"
 	"sgxbench/internal/rel"
@@ -158,15 +159,50 @@ func serveConfigs() []serve.Config {
 	return cfgs
 }
 
+// obsPctlViolations collects any serving run where the histogram-backed
+// percentiles strayed from the exact sorted-slice oracle by more than
+// one bucket width (or Max stopped being exact). Always empty on a
+// healthy build; reported as obs_percentiles_ok and gated at exit.
+var obsPctlViolations []string
+
 // simulate replays one scenario, treating a config error as fatal —
-// every bench scenario is built here and must validate.
+// every bench scenario is built here and must validate. Every run is
+// executed with a tracer and metrics timeline attached: the golden gate
+// downstream then doubles as the zero-perturbation proof for the
+// observability layer, and each run's histogram percentiles are checked
+// against the exact sorted-slice oracle.
 func simulate(w *serve.Workload, cfg serve.Config) *serve.Result {
+	cfg.Trace = obs.NewTracer(1 << 12)
+	cfg.Metrics = obs.NewMetrics(1<<16, 1<<10)
 	res, err := w.Simulate(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
+	checkPercentiles(res)
 	return res
+}
+
+// checkPercentiles asserts the satellite guarantee on a finished run:
+// each histogram percentile is >= its exact value and within one bucket
+// width of it, and Max is exact.
+func checkPercentiles(res *serve.Result) {
+	e50, e95, e99, emax := res.ExactPercentiles()
+	label := res.Config.Name() + "/" + res.Setting
+	for _, pc := range []struct {
+		name       string
+		got, exact uint64
+	}{{"p50", res.P50, e50}, {"p95", res.P95, e95}, {"p99", res.P99, e99}} {
+		if pc.got < pc.exact || pc.got-pc.exact > obs.BucketWidth(pc.exact) {
+			obsPctlViolations = append(obsPctlViolations, fmt.Sprintf(
+				"%s: %s = %d, exact %d (bucket width %d)",
+				label, pc.name, pc.got, pc.exact, obs.BucketWidth(pc.exact)))
+		}
+	}
+	if res.Max != emax {
+		obsPctlViolations = append(obsPctlViolations, fmt.Sprintf(
+			"%s: max = %d, exact %d", label, res.Max, emax))
+	}
 }
 
 // Fault-injected serving: the resilience analogue of the spill gate.
@@ -337,6 +373,7 @@ type report struct {
 	SpillOK     bool               `json:"spill_degradation_ok"`
 	FaultOK     bool               `json:"fault_degradation_ok"`
 	ShardOK     bool               `json:"shard_scaling_ok"`
+	ObsOK       bool               `json:"obs_percentiles_ok"`
 	TargetsMet  bool               `json:"targets_met"`
 	TargetNotes []string           `json:"target_notes"`
 }
@@ -522,11 +559,15 @@ func prepPipeline(ref bool, setting core.Setting, p query.Pipeline, nDim, nFact,
 	if maxRows > 0 && maxRows < capRows {
 		capRows = maxRows
 	}
+	// A cycle-attribution profiler rides along on every pipeline run:
+	// the golden gate's bit-identical checks then prove the profiling
+	// hooks perturb nothing.
 	opt := query.Options{
-		Threads: thr,
-		Pred:    scan.Predicate{Lo: 16, Hi: 127},
-		MaxRows: maxRows,
-		Scratch: query.NewScratch(env, ds, thr, capRows),
+		Threads:  thr,
+		Pred:     scan.Predicate{Lo: 16, Hi: 127},
+		MaxRows:  maxRows,
+		Scratch:  query.NewScratch(env, ds, thr, capRows),
+		Profiler: obs.NewProfiler("run"),
 	}
 	return func() (time.Duration, uint64, uint64, engine.Stats) {
 		start := time.Now()
@@ -1131,6 +1172,14 @@ func main() {
 		}
 	}
 
+	rep.ObsOK = len(obsPctlViolations) == 0
+	if !rep.ObsOK {
+		fmt.Println("== histogram percentile violations ==")
+		for _, v := range obsPctlViolations {
+			fmt.Println("  OBS: " + v)
+		}
+	}
+
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -1144,7 +1193,7 @@ func main() {
 	}
 	f.Close()
 	fmt.Printf("wrote %s\n", *out)
-	if !rep.Equivalent || !rep.GoldenOK || !rep.ServeOK || !rep.HashSortOK || !rep.SpillOK || !rep.FaultOK || !rep.ShardOK {
+	if !rep.Equivalent || !rep.GoldenOK || !rep.ServeOK || !rep.HashSortOK || !rep.SpillOK || !rep.FaultOK || !rep.ShardOK || !rep.ObsOK {
 		os.Exit(1)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"sgxbench/internal/engine"
 	"sgxbench/internal/exec"
 	"sgxbench/internal/join"
+	"sgxbench/internal/obs"
 	"sgxbench/internal/platform"
 	"sgxbench/internal/query"
 	"sgxbench/internal/rel"
@@ -66,6 +67,11 @@ var (
 	// fault timeline.
 	faultMode = flag.Bool("fault", false, "simulate the fault-injected serving scenario and print the fault timeline next to the breakdown")
 	admit     = flag.Int("admit", 12, "fault: queue-depth admission limit (0 = naive unbounded queue)")
+
+	// Observability outputs: a Chrome-trace-event span/metrics timeline
+	// for serving scenarios, a folded-stack cycle profile for pipelines.
+	tracePath   = flag.String("trace", "", "serve/fault: write the scenario's span trace + metrics timeline as Chrome trace-event JSON (load in Perfetto / chrome://tracing)")
+	profilePath = flag.String("profile", "", "query: print the per-operator x per-phase cycle tree and write folded stacks (flamegraph.pl compatible) to this file")
 )
 
 func parseSetting(s string) (core.Setting, bool) {
@@ -129,13 +135,40 @@ func main() {
 		nDim := 1 << 13
 		nFact := rel.RowsForMB(400) / int(*scale)
 		ds := query.GenDataset(env, nDim, nFact, 1234)
-		res := p.Run(env, ds, query.Options{Threads: *threads, Pred: scan.Predicate{Lo: 16, Hi: 127}})
+		opt := query.Options{Threads: *threads, Pred: scan.Predicate{Lo: 16, Hi: 127}}
+		var prof *obs.Profiler
+		if *profilePath != "" {
+			prof = obs.NewProfiler("run")
+			opt.Profiler = prof
+		}
+		res := p.Run(env, ds, opt)
 		fmt.Printf("%s %s: wall=%d rows=%d groups=%d check=%#x\n",
 			res.Pipeline, setting, res.WallCycles, res.Rows, res.Groups, res.Check)
 		for _, st := range res.Stages {
 			fmt.Printf("stage %-8s wall=%9d rows=%d\n", st.Name, st.WallCycles, st.Rows)
 		}
 		printPhases(res.Phases)
+		if prof != nil {
+			fmt.Println("cycle-attribution profile:")
+			if err := prof.WriteTree(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "diag: %v\n", err)
+				os.Exit(1)
+			}
+			f, err := os.Create(*profilePath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "diag: %v\n", err)
+				os.Exit(1)
+			}
+			werr := prof.WriteFolded(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintf(os.Stderr, "diag: %v\n", werr)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote folded stacks to %s\n", *profilePath)
+		}
 		return
 	}
 
@@ -306,15 +339,22 @@ func runServe(plat *platform.Platform, setting core.Setting) {
 		// closed-loop knob and Validate rejects the combination.
 		cfg.ThinkCycles = 0
 	}
+	// Calibrated mean service time: scales the fault plan and the
+	// metrics sample interval so both survive -scale changes.
+	var sum uint64
+	for _, c := range w.Classes {
+		sum += c.ServiceCycles
+	}
+	meanService := sum / uint64(len(w.Classes))
+	if *tracePath != "" {
+		cfg.Trace = obs.NewTracer(1 << 16)
+		cfg.Metrics = obs.NewMetrics(meanService, 1<<12)
+	}
 	var plan *serve.FaultPlan
 	if *faultMode {
 		// The bench crash-storm scenario, scaled off the calibrated mean
 		// service time so the shape survives -scale changes.
-		var sum uint64
-		for _, c := range w.Classes {
-			sum += c.ServiceCycles
-		}
-		s := sum / uint64(len(w.Classes))
+		s := meanService
 		fc := sgx.DefaultFaultCosts()
 		fc.Teardown = s / 2
 		fc.RebuildBase = 3 * s
@@ -393,6 +433,29 @@ func runServe(plat *platform.Platform, setting core.Setting) {
 		for _, ev := range res.Faults {
 			fmt.Printf("  t=%-12d worker %-3d %s\n", ev.T, ev.Worker, ev.Kind)
 		}
+		if res.FaultsDropped > 0 {
+			fmt.Printf("  (+%d earlier fault events past the %d-event cap; counters above stay exact)\n",
+				res.FaultsDropped, len(res.Faults))
+		}
+	}
+	if cfg.Trace != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "diag: %v\n", err)
+			os.Exit(1)
+		}
+		werr := obs.WriteTrace(f, cfg.Trace, cfg.Metrics)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "diag: %v\n", werr)
+			os.Exit(1)
+		}
+		st := cfg.Trace.Stats()
+		fmt.Printf("wrote trace to %s: %d spans, %d instants (%d dropped), %d metric samples every %d cycles (%d dropped)\n",
+			*tracePath, st.Spans, st.Instants, st.Dropped,
+			cfg.Metrics.Len(), cfg.Metrics.Interval(), cfg.Metrics.Dropped())
 	}
 }
 

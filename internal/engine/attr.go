@@ -1,0 +1,16 @@
+package engine
+
+import "sgxbench/internal/obs"
+
+// Attribution renders the cycle-accounting view of a Stats snapshot as
+// profile attributes: where the cycles went, split into useful work,
+// store-address-barrier stalls and EPC paging overhead. The exec layer
+// attaches these to leaf phases of a cycle-attribution profile so a
+// per-operator tree also explains each phase's cost composition.
+func (s Stats) Attribution() []obs.Attr {
+	return []obs.Attr{
+		{Key: "work", Val: s.WorkCycles},
+		{Key: "stall.ssb", Val: s.StallSSB},
+		{Key: "paging.epc", Val: s.EPCPagingCycles},
+	}
+}

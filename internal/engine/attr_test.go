@@ -1,0 +1,28 @@
+package engine
+
+import (
+	"testing"
+
+	"sgxbench/internal/obs"
+)
+
+// TestStatsAttribution pins the attribute keys and their Stats sources
+// — profile consumers (flamegraph tooling, diag output) key on these
+// names.
+func TestStatsAttribution(t *testing.T) {
+	s := Stats{WorkCycles: 100, StallSSB: 7, EPCPagingCycles: 42, TLBWalks: 9}
+	want := []obs.Attr{
+		{Key: "work", Val: 100},
+		{Key: "stall.ssb", Val: 7},
+		{Key: "paging.epc", Val: 42},
+	}
+	got := s.Attribution()
+	if len(got) != len(want) {
+		t.Fatalf("Attribution() = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("attr %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

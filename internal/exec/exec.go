@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"sgxbench/internal/engine"
+	"sgxbench/internal/obs"
 	"sgxbench/internal/platform"
 )
 
@@ -27,6 +28,7 @@ type Group struct {
 	epc     *engine.EPCDomain // enclave EPC capacity model (nil: unlimited)
 	clock   uint64
 	phases  []PhaseStats
+	prof    *obs.Profiler // optional cycle-attribution sink; nil: off
 }
 
 // PhaseStats describes one completed phase.
@@ -66,12 +68,38 @@ func NewGroup(cfg engine.Config, n int, nodeOf func(i int) int) *Group {
 // Clock returns the group-aligned simulated time.
 func (g *Group) Clock() uint64 { return g.clock }
 
+// AttachProfiler routes completed phases and clock advances into p as
+// leaf records. The profiler only observes values the group computes
+// anyway — attaching one changes no clock, stat or phase outcome.
+func (g *Group) AttachProfiler(p *obs.Profiler) { g.prof = p }
+
+// Profiler returns the attached profiler (nil when none).
+func (g *Group) Profiler() *obs.Profiler { return g.prof }
+
+// Scope opens a named profile scope around a pipeline stage and returns
+// the closer that attributes the stage's clock advance to it. With no
+// profiler attached both halves are no-ops, so operators can scope
+// unconditionally:
+//
+//	defer g.Scope("join")()
+func (g *Group) Scope(name string) func() {
+	if g.prof == nil {
+		return func() {}
+	}
+	g.prof.Push(name)
+	start := g.clock
+	return func() { g.prof.Pop(g.clock - start) }
+}
+
 // AdvanceClock adds serialized cycles (e.g. EDMM page commits) to the
 // group clock between phases.
 func (g *Group) AdvanceClock(cycles uint64) {
 	g.clock += cycles
 	for _, t := range g.Threads {
 		t.SetCycle(g.clock)
+	}
+	if g.prof != nil && cycles > 0 {
+		g.prof.Leaf("edmm.commit", cycles, nil)
 	}
 }
 
@@ -135,6 +163,9 @@ func (g *Group) Phase(name string, body func(t *engine.Thread, id int)) PhaseSta
 		t.SetCycle(g.clock)
 	}
 	g.phases = append(g.phases, ps)
+	if g.prof != nil {
+		g.prof.Leaf(name, wall, ps.Agg.Attribution())
+	}
 	return ps
 }
 

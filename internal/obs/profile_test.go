@@ -1,0 +1,176 @@
+package obs_test
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	"sgxbench/internal/obs"
+)
+
+// TestProfilerTreeShape: nested Push/Pop and Leaf build the expected
+// tree with inclusive cycles on scopes and root accumulation.
+func TestProfilerTreeShape(t *testing.T) {
+	p := obs.NewProfiler("run")
+	p.Push("q2")
+	p.Push("join")
+	p.Leaf("partition", 30, []obs.Attr{{Key: "work", Val: 25}})
+	p.Leaf("probe", 50, []obs.Attr{{Key: "work", Val: 40}})
+	p.Pop(100) // join: 20 self
+	p.Leaf("agg", 40, nil)
+	p.Pop(160) // q2: 20 self
+	if p.Depth() != 0 {
+		t.Fatalf("depth = %d after balanced pops", p.Depth())
+	}
+
+	root := p.Root()
+	if root.Name != "run" || root.Cycles != 160 {
+		t.Fatalf("root = %s/%d, want run/160", root.Name, root.Cycles)
+	}
+	q2 := root.Children[0]
+	if q2.Name != "q2" || q2.Cycles != 160 || q2.Count != 1 {
+		t.Fatalf("q2 = %+v", q2)
+	}
+	if len(q2.Children) != 2 {
+		t.Fatalf("q2 children = %d, want join+agg", len(q2.Children))
+	}
+	join := q2.Children[0]
+	if join.Cycles != 100 || join.SelfCycles() != 20 {
+		t.Fatalf("join cycles=%d self=%d, want 100/20", join.Cycles, join.SelfCycles())
+	}
+	probe := join.Children[1]
+	if probe.Name != "probe" || probe.Cycles != 50 || probe.Count != 1 {
+		t.Fatalf("probe = %+v", probe)
+	}
+	if len(probe.Attrs) != 1 || probe.Attrs[0] != (obs.Attr{Key: "work", Val: 40}) {
+		t.Fatalf("probe attrs = %+v", probe.Attrs)
+	}
+	if q2.SelfCycles() != 20 || root.SelfCycles() != 0 {
+		t.Fatalf("self: q2=%d root=%d, want 20/0", q2.SelfCycles(), root.SelfCycles())
+	}
+}
+
+// TestProfilerMergesRepeatedScopes: re-entering the same scope under
+// the same parent accumulates into one node (profiles span benchmark
+// repetitions).
+func TestProfilerMergesRepeatedScopes(t *testing.T) {
+	p := obs.NewProfiler("run")
+	for i := 0; i < 3; i++ {
+		p.Push("q1")
+		p.Leaf("filter", 10, []obs.Attr{{Key: "work", Val: 7}, {Key: "stall.ssb", Val: 2}})
+		p.Pop(25)
+	}
+	root := p.Root()
+	if len(root.Children) != 1 {
+		t.Fatalf("root children = %d, want merged 1", len(root.Children))
+	}
+	q1 := root.Children[0]
+	if q1.Cycles != 75 || q1.Count != 3 {
+		t.Fatalf("q1 = %d cycles x%d, want 75 x3", q1.Cycles, q1.Count)
+	}
+	f := q1.Children[0]
+	if f.Cycles != 30 || f.Count != 3 {
+		t.Fatalf("filter = %d cycles x%d, want 30 x3", f.Cycles, f.Count)
+	}
+	var want = []obs.Attr{{Key: "work", Val: 21}, {Key: "stall.ssb", Val: 6}}
+	if len(f.Attrs) != 2 || f.Attrs[0] != want[0] || f.Attrs[1] != want[1] {
+		t.Fatalf("merged attrs = %+v, want %+v", f.Attrs, want)
+	}
+	if root.Cycles != 75 {
+		t.Fatalf("root cycles = %d, want 75", root.Cycles)
+	}
+}
+
+// TestProfilerSelfCyclesSaturates: children exceeding the parent's
+// inclusive cycles (possible when a scope was never popped with its
+// full span) yields self 0, not underflow.
+func TestProfilerSelfCyclesSaturates(t *testing.T) {
+	p := obs.NewProfiler("run")
+	p.Push("outer")
+	p.Leaf("inner", 100, nil)
+	p.Pop(60)
+	if self := p.Root().Children[0].SelfCycles(); self != 0 {
+		t.Fatalf("self = %d, want saturated 0", self)
+	}
+}
+
+// TestProfilerPopPanics: an unmatched Pop is a programming error.
+func TestProfilerPopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty stack did not panic")
+		}
+	}()
+	obs.NewProfiler("run").Pop(1)
+}
+
+// TestWriteFolded: folded-stack lines are "path self" with ;-joined
+// paths, only for nodes with nonzero self time, and the total equals
+// the root's inclusive cycles when the tree is fully attributed.
+func TestWriteFolded(t *testing.T) {
+	p := obs.NewProfiler("run")
+	p.Push("q2")
+	p.Push("join")
+	p.Leaf("probe", 50, nil)
+	p.Pop(80) // join self 30
+	p.Leaf("agg", 40, nil)
+	p.Pop(120) // q2 self 0
+	var buf bytes.Buffer
+	if err := p.WriteFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	sort.Strings(lines)
+	want := []string{
+		"run;q2;agg 40",
+		"run;q2;join 30",
+		"run;q2;join;probe 50",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("folded lines = %q, want %q", lines, want)
+	}
+	var total uint64
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("folded line %d = %q, want %q", i, lines[i], want[i])
+		}
+		var self uint64
+		if _, err := fmtSscanSelf(lines[i], &self); err != nil {
+			t.Fatal(err)
+		}
+		total += self
+	}
+	if total != p.Root().Cycles {
+		t.Fatalf("folded total = %d, want root inclusive %d", total, p.Root().Cycles)
+	}
+}
+
+func fmtSscanSelf(line string, self *uint64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	var v uint64
+	for _, c := range line[i+1:] {
+		v = v*10 + uint64(c-'0')
+	}
+	*self = v
+	return 1, nil
+}
+
+// TestWriteTree: the tree render names every node with cycles, counts
+// and attrs.
+func TestWriteTree(t *testing.T) {
+	p := obs.NewProfiler("run")
+	p.Push("q1")
+	p.Leaf("filter", 10, []obs.Attr{{Key: "work", Val: 7}})
+	p.Pop(15)
+	var buf bytes.Buffer
+	if err := p.WriteTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"run", "q1", "filter", "x1", "work=7", "15 cycles", "10 cycles"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("tree output missing %q:\n%s", frag, out)
+		}
+	}
+}

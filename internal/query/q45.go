@@ -38,6 +38,7 @@ func (o Options) limitRows() int {
 func Q4FilterSortLimit(env *core.Env, ds *Dataset, opt Options) *Result {
 	g := env.NewGroup(opt.threads(), opt.NodeOf)
 	sc := opt.scratch(env, ds)
+	defer profiled(g, opt, Q4Name)()
 	res := &Result{Pipeline: Q4Name, Check: agg.FNVOffset64}
 	n := filterGather(env, g, ds, sc, opt, res)
 	k := opt.limitRows()
@@ -55,7 +56,9 @@ func Q4FilterSortLimit(env *core.Env, ds *Dataset, opt Options) *Result {
 			topt.Heap, topt.Tmp, topt.Out = sc.TopKHeap, sc.TopKTmp, sc.TopKOut
 		}
 	}
+	closeTopK := g.Scope("topk")
 	tr := sortop.TopKOn(env, g, sc.FTup, n, k, topt)
+	closeTopK()
 	res.Stages = append(res.Stages, StageStats{Name: "topk", WallCycles: tr.WallCycles, Rows: uint64(tr.K)})
 	res.Check = agg.Mix(res.Check, tr.Check)
 	res.Rows = uint64(n)
@@ -74,6 +77,7 @@ func Q4FilterSortLimit(env *core.Env, ds *Dataset, opt Options) *Result {
 func Q5MergeJoinAgg(env *core.Env, ds *Dataset, opt Options) *Result {
 	g := env.NewGroup(opt.threads(), opt.NodeOf)
 	sc := opt.scratch(env, ds)
+	defer profiled(g, opt, Q5Name)()
 	res := &Result{Pipeline: Q5Name, Check: agg.FNVOffset64}
 	sc.ensureSort(env, ds)
 	maxKey := uint32(ds.Dim.N() + 1)
@@ -90,9 +94,11 @@ func Q5MergeJoinAgg(env *core.Env, ds *Dataset, opt Options) *Result {
 			out = env.Space.AllocU64("q5."+name+".sorted", n, reg)
 		}
 		copy(work.D[:n], in.Tup.D) // untimed setup copy; timed passes stream it
+		closeSort := g.Scope("sort-" + name)
 		sr := sortop.RunOn(env, g, work, n, sortop.Options{
 			MaxKey: maxKey, RunLen: runLen, Tmp: tmp, Out: out,
 		})
+		closeSort()
 		res.Stages = append(res.Stages, StageStats{Name: "sort-" + name, WallCycles: sr.WallCycles, Rows: uint64(n)})
 		res.Check = agg.Mix(res.Check, sr.Check)
 		return out
@@ -100,9 +106,11 @@ func Q5MergeJoinAgg(env *core.Env, ds *Dataset, opt Options) *Result {
 	factSorted := sortStage("fact", ds.Fact, sc.FactSort, sc.FactTmp, sc.FactSorted)
 	dimSorted := sortStage("dim", ds.Dim, sc.DimSort, sc.DimTmp, sc.DimSorted)
 
+	closeJoin := g.Scope("join")
 	jr := join.MergeJoinSorted(env, g, dimSorted, ds.Dim.N(), factSorted, ds.Fact.N(), maxKey, join.Options{
 		Materialize: true, OutBufs: sc.JoinOut,
 	})
+	closeJoin()
 	res.Stages = append(res.Stages, StageStats{Name: "join", WallCycles: jr.WallCycles, Rows: jr.Matches})
 	res.Check = agg.Mix(res.Check, jr.Matches)
 	aggregate(env, g, ds, sc, joinSegments(sc, jr), agg.ByPayload, res)

@@ -43,6 +43,7 @@ import (
 	"sgxbench/internal/exec"
 	"sgxbench/internal/join"
 	"sgxbench/internal/mem"
+	"sgxbench/internal/obs"
 	"sgxbench/internal/rel"
 	"sgxbench/internal/scan"
 )
@@ -83,6 +84,11 @@ type Options struct {
 	// the same Scratch see identical simulated addresses (benchmark
 	// repetitions, golden gates). Nil allocates internally.
 	Scratch *Scratch
+	// Profiler, when set, receives the run's cycle-attribution tree:
+	// one scope per pipeline stage, one leaf per exec phase with the
+	// engine's cycle attribution. Purely observational — attaching a
+	// profiler changes no simulated cycle or check value.
+	Profiler *obs.Profiler
 }
 
 func (o Options) threads() int {
@@ -257,6 +263,20 @@ func (o Options) scratch(env *core.Env, ds *Dataset) *Scratch {
 	return NewScratch(env, ds, o.threads(), maxRows)
 }
 
+// profiled attaches opt.Profiler (when set) to the group and opens the
+// pipeline's own scope, so stage scopes and phase leaves nest under the
+// pipeline name. The returned closer pops the scope; with no profiler
+// everything is a no-op:
+//
+//	defer profiled(g, opt, Q2Name)()
+func profiled(g *exec.Group, opt Options, name string) func() {
+	if opt.Profiler == nil {
+		return func() {}
+	}
+	g.AttachProfiler(opt.Profiler)
+	return g.Scope(name)
+}
+
 // capRuns truncates the per-thread id runs, in order, to at most maxN
 // total rows; it returns the capped runs and their row total.
 func capRuns(runs []scan.IDRun, maxN int) ([]scan.IDRun, int) {
@@ -277,7 +297,9 @@ func capRuns(runs []scan.IDRun, maxN int) ([]scan.IDRun, int) {
 // qualifying fact tuples (densely packed in per-thread run order). It
 // returns the filtered row count.
 func filterGather(env *core.Env, g *exec.Group, ds *Dataset, sc *Scratch, opt Options, res *Result) int {
+	closeFilter := g.Scope("filter")
 	sr := scan.RunOn(env, g, ds.Filter, scan.Options{Pred: opt.Pred, RowIDs: true, IDs: sc.IDs})
+	closeFilter()
 	res.Stages = append(res.Stages, StageStats{Name: "filter", WallCycles: sr.WallCycles, Rows: sr.Matches})
 	res.Check = agg.Mix(res.Check, sr.Matches)
 
@@ -286,7 +308,9 @@ func filterGather(env *core.Env, g *exec.Group, ds *Dataset, sc *Scratch, opt Op
 		maxN = opt.MaxRows
 	}
 	runs, n := capRuns(sr.IDRuns, maxN)
+	closeGather := g.Scope("gather")
 	gr := scan.GatherU64On(env, g, ds.Fact.Tup, sc.IDs, runs, sc.FTup)
+	closeGather()
 	res.Stages = append(res.Stages, StageStats{Name: "gather", WallCycles: gr.WallCycles, Rows: uint64(n)})
 	res.Check = agg.Mix(res.Check, gr.Sum)
 	return n
@@ -298,9 +322,11 @@ func aggregate(env *core.Env, g *exec.Group, ds *Dataset, sc *Scratch, ins []agg
 	for _, in := range ins {
 		rows += in.N
 	}
+	closeAgg := g.Scope("agg")
 	ar := agg.RunOn(env, g, ins, agg.Options{
 		Sel: sel, Groups: ds.Dim.N(), Out: sc.AggOut, Parts: sc.AggPart,
 	})
+	closeAgg()
 	res.Stages = append(res.Stages, StageStats{Name: "agg", WallCycles: ar.WallCycles, Rows: uint64(ar.Groups)})
 	res.Rows = uint64(rows)
 	res.Groups = ar.Groups
@@ -321,6 +347,7 @@ func finish(g *exec.Group, res *Result) *Result {
 func Q1FilterAgg(env *core.Env, ds *Dataset, opt Options) *Result {
 	g := env.NewGroup(opt.threads(), opt.NodeOf)
 	sc := opt.scratch(env, ds)
+	defer profiled(g, opt, Q1Name)()
 	res := &Result{Pipeline: Q1Name, Check: agg.FNVOffset64}
 	n := filterGather(env, g, ds, sc, opt, res)
 	aggregate(env, g, ds, sc, []agg.Input{{Tup: sc.FTup, N: n}}, agg.ByKey, res)
@@ -334,12 +361,15 @@ func Q1FilterAgg(env *core.Env, ds *Dataset, opt Options) *Result {
 func Q2FilterJoinAgg(env *core.Env, ds *Dataset, opt Options) *Result {
 	g := env.NewGroup(opt.threads(), opt.NodeOf)
 	sc := opt.scratch(env, ds)
+	defer profiled(g, opt, Q2Name)()
 	res := &Result{Pipeline: Q2Name, Check: agg.FNVOffset64}
 	n := filterGather(env, g, ds, sc, opt, res)
 	probe := &rel.Relation{Name: "S'", Tup: sc.FTup.View(n)}
+	closeJoin := g.Scope("join")
 	jr, err := join.NewRHO().RunOn(env, g, ds.Dim, probe, join.Options{
 		Optimized: true, Materialize: true, OutBufs: sc.JoinOut,
 	})
+	closeJoin()
 	if err != nil {
 		panic(err)
 	}
@@ -355,10 +385,13 @@ func Q2FilterJoinAgg(env *core.Env, ds *Dataset, opt Options) *Result {
 func Q3JoinAgg(env *core.Env, ds *Dataset, opt Options) *Result {
 	g := env.NewGroup(opt.threads(), opt.NodeOf)
 	sc := opt.scratch(env, ds)
+	defer profiled(g, opt, Q3Name)()
 	res := &Result{Pipeline: Q3Name, Check: agg.FNVOffset64}
+	closeJoin := g.Scope("join")
 	jr, err := join.NewPHT().RunOn(env, g, ds.Dim, ds.Fact, join.Options{
 		Optimized: true, Materialize: true, OutBufs: sc.JoinOut,
 	})
+	closeJoin()
 	if err != nil {
 		panic(err)
 	}

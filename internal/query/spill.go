@@ -24,12 +24,15 @@ import (
 func Q2SFilterJoinAggSpill(env *core.Env, ds *Dataset, opt Options) *Result {
 	g := env.NewGroup(opt.threads(), opt.NodeOf)
 	sc := opt.scratch(env, ds)
+	defer profiled(g, opt, Q2SName)()
 	res := &Result{Pipeline: Q2SName, Check: agg.FNVOffset64}
 	n := filterGather(env, g, ds, sc, opt, res)
 	probe := &rel.Relation{Name: "S'", Tup: sc.FTup.View(n)}
+	closeJoin := g.Scope("join")
 	jr, err := join.NewGrace().RunOn(env, g, ds.Dim, probe, join.Options{
 		Optimized: true, Materialize: true, OutBufs: sc.JoinOut,
 	})
+	closeJoin()
 	if err != nil {
 		panic(err)
 	}
@@ -45,10 +48,13 @@ func Q2SFilterJoinAggSpill(env *core.Env, ds *Dataset, opt Options) *Result {
 func Q3SJoinAggSpill(env *core.Env, ds *Dataset, opt Options) *Result {
 	g := env.NewGroup(opt.threads(), opt.NodeOf)
 	sc := opt.scratch(env, ds)
+	defer profiled(g, opt, Q3SName)()
 	res := &Result{Pipeline: Q3SName, Check: agg.FNVOffset64}
+	closeJoin := g.Scope("join")
 	jr, err := join.NewGrace().RunOn(env, g, ds.Dim, ds.Fact, join.Options{
 		Optimized: true, Materialize: true, OutBufs: sc.JoinOut,
 	})
+	closeJoin()
 	if err != nil {
 		panic(err)
 	}
@@ -66,9 +72,11 @@ func spillAggregate(env *core.Env, g *exec.Group, ds *Dataset, sc *Scratch, ins 
 	for _, in := range ins {
 		rows += in.N
 	}
+	closeAgg := g.Scope("agg")
 	ar := agg.SpillRunOn(env, g, ins, agg.Options{
 		Sel: sel, Groups: ds.Dim.N(), Out: sc.AggOut,
 	})
+	closeAgg()
 	res.Stages = append(res.Stages, StageStats{Name: "agg", WallCycles: ar.WallCycles, Rows: uint64(ar.Groups)})
 	res.Rows = uint64(rows)
 	res.Groups = ar.Groups

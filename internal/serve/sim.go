@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"sgxbench/internal/agg"
+	"sgxbench/internal/obs"
 	"sgxbench/internal/sgx"
 )
 
@@ -88,6 +89,23 @@ type Config struct {
 	// queue. Under DispatchSharded the limit applies per shard. Zero:
 	// unbounded queues, never shed.
 	AdmitDepth int
+
+	// --- Observability attachments (excluded from the serialized
+	// scenario shape: they observe a replay, they are not part of it) ---
+
+	// Trace, when set, receives per-attempt spans on the virtual clock:
+	// submit/queue/service/batch intervals with worker, shard,
+	// generation and retry attribution, plus shed/timeout/crash/rebuild
+	// markers. Purely observational — the simulator only hands the
+	// tracer values it computes anyway, so an attached tracer leaves
+	// every simulated cycle and check value bit-identical (the
+	// zero-perturbation differential tests pin this).
+	Trace *obs.Tracer `json:"-"`
+	// Metrics, when set, receives a gauge timeline (queue depths,
+	// worker states, committed pages) sampled at its interval. Sampling
+	// happens as the event loop passes each boundary and never
+	// schedules events, so it cannot perturb event order.
+	Metrics *obs.Metrics `json:"-"`
 
 	// useHeap replays the scenario on the original container/heap event
 	// queue instead of the timer wheel — the differential-test knob
@@ -172,11 +190,38 @@ type Result struct {
 	// empty for fault-free scenarios. The Breakdown counters stay
 	// exact past the cap.
 	Faults []FaultEvent `json:"fault_events,omitempty"`
+	// FaultsDropped counts fault events past the Faults cap — the
+	// explicit truncation signal (the timeline used to cut off at
+	// maxFaultEvents silently). Not folded into Check: the counters
+	// were always exact, only the event list truncates.
+	FaultsDropped uint64 `json:"fault_events_dropped,omitempty"`
 	// Check folds every latency (in completion order), the breakdown,
 	// the outcome split and the makespan into one FNV-1a value — the
 	// deterministic number golden gates compare.
 	Check uint64 `json:"check"`
+
+	// lats and hist back ExactPercentiles and LatencyHistogram.
+	lats []uint64
+	hist *obs.Histogram
 }
+
+// ExactPercentiles recomputes the latency summary from the raw
+// per-request latencies by sorting — the O(n log n) oracle the reported
+// histogram-backed percentiles are tested against. Each reported
+// percentile is >= its exact value and within one obs.BucketWidth of
+// it; Max is exact on both paths.
+func (r *Result) ExactPercentiles() (p50, p95, p99, max uint64) {
+	sorted := append([]uint64(nil), r.lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if n := len(sorted); n > 0 {
+		max = sorted[n-1]
+	}
+	return pctl(sorted, 50), pctl(sorted, 95), pctl(sorted, 99), max
+}
+
+// LatencyHistogram returns the run's log-bucketed latency distribution
+// (one Record per terminal request, in completion order).
+func (r *Result) LatencyHistogram() *obs.Histogram { return r.hist }
 
 // Event kinds. Issue submits a request's next attempt (ECALL + queue
 // push or shed), enqueue makes a pushed attempt poppable, done
@@ -317,16 +362,17 @@ type sim struct {
 	edmmFree    uint64 // enclave-global page-commit serialization
 	rebuildFree uint64 // kernel enclave-management lock (crash rebuilds)
 
-	bd        Breakdown
-	ds        DispatchStats
-	lats      []uint64 // latency per logical request, terminal order
-	succeeded int
-	failed    int
-	makespan  uint64
-	perClient []ClientSummary
-	classReq  []int
-	classLat  []uint64
-	faults    []FaultEvent
+	bd            Breakdown
+	ds            DispatchStats
+	lats          []uint64 // latency per logical request, terminal order
+	succeeded     int
+	failed        int
+	makespan      uint64
+	perClient     []ClientSummary
+	classReq      []int
+	classLat      []uint64
+	faults        []FaultEvent
+	faultsDropped uint64
 }
 
 // splitmix64 is the standard SplitMix64 mixer — the deterministic,
@@ -338,6 +384,16 @@ func splitmix64(x uint64) uint64 {
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 	return x ^ (x >> 31)
 }
+
+// Trace track convention: server-side spans (queue waits, enclave
+// entries, faults) land on pid 0 with the worker id as tid; client-side
+// spans (submissions, whole-request lifetimes, sheds, timeouts) on
+// pid 1 with the client id. Perfetto renders them as two process
+// groups with one track per worker / per client.
+const (
+	tracePIDServe  = 0
+	tracePIDClient = 1
+)
 
 func (s *sim) schedule(t uint64, kind, who int) {
 	s.seq++
@@ -448,11 +504,23 @@ func (s *sim) submit(idx int, t uint64) {
 		// instead of a request the pool would serve long past its
 		// deadline.
 		s.bd.Shed++
+		if tr := s.cfg.Trace; tr != nil {
+			tr.Record(obs.Span{Name: "shed", Cat: "client", Ph: obs.PhInstant, T: pushDone,
+				PID: tracePIDClient, TID: r.client, Args: []obs.Attr{
+					{Key: "req", Val: uint64(idx)}, {Key: "attempt", Val: uint64(r.attempt)},
+					{Key: "shard", Val: uint64(si)}}})
+		}
 		s.failAttempt(idx, pushDone)
 		return
 	}
 	s.atts = append(s.atts, attempt{req: idx, class: r.class, service: r.service, issue: t, shard: si, worker: -1})
 	ai := len(s.atts) - 1
+	if tr := s.cfg.Trace; tr != nil {
+		tr.Record(obs.Span{Name: "submit", Cat: "client", Ph: obs.PhComplete, T: t, Dur: pushDone - t,
+			PID: tracePIDClient, TID: r.client, Args: []obs.Attr{
+				{Key: "req", Val: uint64(idx)}, {Key: "attempt", Val: uint64(r.attempt)},
+				{Key: "shard", Val: uint64(si)}}})
+	}
 	s.schedule(pushDone, evEnqueue, ai)
 	if s.cfg.DeadlineCycles > 0 {
 		s.schedule(t+s.cfg.DeadlineCycles, evTimeout, ai)
@@ -549,6 +617,16 @@ func (s *sim) finishRequest(idx int, t uint64, success bool) {
 	}
 	s.classReq[r.class]++
 	s.classLat[r.class] += lat
+	if tr := s.cfg.Trace; tr != nil {
+		var ok uint64
+		if success {
+			ok = 1
+		}
+		tr.Record(obs.Span{Name: "request", Cat: "client", Ph: obs.PhComplete, T: r.firstIssue, Dur: lat,
+			PID: tracePIDClient, TID: r.client, Args: []obs.Attr{
+				{Key: "class", Val: uint64(r.class)}, {Key: "attempts", Val: uint64(r.attempt)},
+				{Key: "ok", Val: ok}}})
+	}
 	r.active = false
 	if s.cfg.Arrival == nil {
 		cs := &s.clients[r.client]
@@ -655,6 +733,13 @@ func (s *sim) crash(w int, t uint64) {
 	done := start + s.fc.RebuildBase + uint64(pages)*s.fc.RebuildPage
 	s.rebuildFree = done
 	s.bd.RebuildCycles += done - t
+	if tr := s.cfg.Trace; tr != nil {
+		tr.Record(obs.Span{Name: "crash", Cat: "fault", Ph: obs.PhInstant, T: t,
+			PID: tracePIDServe, TID: w, Args: []obs.Attr{
+				{Key: "gen", Val: wk.gen}, {Key: "crashes", Val: wk.crashes}}})
+		tr.Record(obs.Span{Name: "rebuild", Cat: "fault", Ph: obs.PhComplete, T: t, Dur: done - t,
+			PID: tracePIDServe, TID: w})
+	}
 	s.schedule(done, evRebuilt, w)
 	// The replacement enclave's own crash clock starts after the
 	// rebuild completes.
@@ -674,6 +759,8 @@ func (s *sim) crashDelay(w int, nth uint64) uint64 {
 func (s *sim) recordFault(e FaultEvent) {
 	if len(s.faults) < maxFaultEvents {
 		s.faults = append(s.faults, e)
+	} else {
+		s.faultsDropped++
 	}
 }
 
@@ -826,6 +913,19 @@ func (s *sim) dispatch(w, si int, t uint64) {
 		end += s.fc.AbortDetect
 	}
 	done := end + s.trans // worker EEXIT
+	if tr := s.cfg.Trace; tr != nil {
+		tr.Record(obs.Span{Name: "queue", Cat: "serve", Ph: obs.PhComplete, T: att.enq, Dur: popDone - att.enq,
+			PID: tracePIDServe, TID: w, Args: []obs.Attr{
+				{Key: "req", Val: uint64(att.req)}, {Key: "shard", Val: uint64(si)}}})
+		var abort uint64
+		if wk.abort {
+			abort = 1
+		}
+		tr.Record(obs.Span{Name: s.w.Classes[att.class].Name, Cat: "service", Ph: obs.PhComplete,
+			T: popDone, Dur: done - popDone, PID: tracePIDServe, TID: w, Args: []obs.Attr{
+				{Key: "req", Val: uint64(att.req)}, {Key: "gen", Val: wk.gen},
+				{Key: "aex", Val: aexN}, {Key: "abort", Val: abort}}})
+	}
 	s.scheduleGen(done, evDone, w, wk.gen)
 }
 
@@ -888,6 +988,7 @@ func (s *sim) dispatchBatch(w, si int, t uint64) {
 		att.worker = w
 		wk.batch = append(wk.batch, idx)
 		s.bd.QueueWaitCycles += popDone - att.enq
+		itemStart := start
 		start = s.commitPages(att.class, start)
 		work := att.service
 		if p := s.cfg.Fault; p != nil && p.FailPct > 0 {
@@ -904,10 +1005,28 @@ func (s *sim) dispatchBatch(w, si int, t uint64) {
 		if att.aborted {
 			end += s.fc.AbortDetect
 		}
+		if tr := s.cfg.Trace; tr != nil {
+			tr.Record(obs.Span{Name: "queue", Cat: "serve", Ph: obs.PhComplete, T: att.enq, Dur: popDone - att.enq,
+				PID: tracePIDServe, TID: w, Args: []obs.Attr{
+					{Key: "req", Val: uint64(att.req)}, {Key: "shard", Val: uint64(si)}}})
+			var abort uint64
+			if att.aborted {
+				abort = 1
+			}
+			tr.Record(obs.Span{Name: s.w.Classes[att.class].Name, Cat: "service", Ph: obs.PhComplete,
+				T: itemStart, Dur: end - itemStart, PID: tracePIDServe, TID: w, Args: []obs.Attr{
+					{Key: "req", Val: uint64(att.req)}, {Key: "gen", Val: wk.gen},
+					{Key: "aex", Val: aexN}, {Key: "abort", Val: abort}}})
+		}
 		s.scheduleGen(end, evItemDone, idx, wk.gen)
 		start = end
 	}
 	done := start + s.trans // worker EEXIT after the batch
+	if tr := s.cfg.Trace; tr != nil {
+		tr.Record(obs.Span{Name: "batch", Cat: "serve", Ph: obs.PhComplete, T: popDone, Dur: done - popDone,
+			PID: tracePIDServe, TID: w, Args: []obs.Attr{
+				{Key: "n", Val: uint64(n)}, {Key: "gen", Val: wk.gen}, {Key: "shard", Val: uint64(si)}}})
+	}
 	s.scheduleGen(done, evDone, w, wk.gen)
 }
 
@@ -1021,6 +1140,16 @@ func (w *Workload) Simulate(cfg Config) (*Result, error) {
 	}
 	for !s.events.empty() {
 		ev := s.events.pop()
+		// Metrics sampling: between events the simulated state is
+		// constant, so every boundary the clock is about to pass gets a
+		// sample of the state as it stands. Pure reads — no event is
+		// scheduled, no seq consumed — so an attached Metrics cannot
+		// change the replay.
+		if m := cfg.Metrics; m != nil {
+			for m.Due(ev.t) {
+				m.Record(s.gauges())
+			}
+		}
 		switch ev.kind {
 		case evIssue:
 			s.issueReq(ev.who, ev.t)
@@ -1051,6 +1180,11 @@ func (w *Workload) Simulate(cfg Config) (*Result, error) {
 			if !att.done && !att.abandoned {
 				att.abandoned = true
 				s.bd.Timeouts++
+				if tr := s.cfg.Trace; tr != nil {
+					tr.Record(obs.Span{Name: "timeout", Cat: "client", Ph: obs.PhInstant, T: ev.t,
+						PID: tracePIDClient, TID: s.reqs[att.req].client, Args: []obs.Attr{
+							{Key: "req", Val: uint64(att.req)}, {Key: "attempt", Val: uint64(ev.who)}}})
+				}
 				s.failAttempt(att.req, ev.t)
 			}
 		case evCrash:
@@ -1070,6 +1204,41 @@ func (w *Workload) Simulate(cfg Config) (*Result, error) {
 		}
 	}
 	return s.result(), nil
+}
+
+// gauges snapshots the simulator's instantaneous state for the metrics
+// timeline. The per-shard depth slice is only materialized for sharded
+// dispatch (a single global queue is already the QueueDepth gauge).
+func (s *sim) gauges() (obs.Gauges, []uint64) {
+	var g obs.Gauges
+	var shards []uint64
+	if s.sharded() {
+		shards = make([]uint64, len(s.shards))
+	}
+	for i := range s.shards {
+		d := uint64(s.shards[i].depth())
+		g.QueueDepth += d
+		if d > g.MaxShardDepth {
+			g.MaxShardDepth = d
+		}
+		if shards != nil {
+			shards[i] = d
+		}
+	}
+	for i := range s.workers {
+		wk := &s.workers[i]
+		if wk.busy {
+			g.BusyWorkers++
+			if s.cfg.Batch > 1 {
+				g.InFlightBatches++
+			}
+		}
+		if wk.down {
+			g.DownWorkers++
+		}
+	}
+	g.PagesCommitted = s.bd.PagesCommitted
+	return g, shards
 }
 
 // pctl returns the nearest-rank p-th percentile of the sorted latencies.
@@ -1097,20 +1266,29 @@ func (s *sim) result() *Result {
 		DispatchStats:  s.ds,
 		PerClient:      s.perClient,
 		Faults:         s.faults,
+		FaultsDropped:  s.faultsDropped,
+		lats:           s.lats,
 	}
 	if s.makespan > 0 {
 		secs := s.w.Plat.CyclesToSeconds(s.makespan)
 		res.ThroughputQPS = float64(res.Requests) / secs
 		res.GoodputQPS = float64(res.Succeeded) / secs
 	}
-	sorted := append([]uint64(nil), s.lats...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	res.P50 = pctl(sorted, 50)
-	res.P95 = pctl(sorted, 95)
-	res.P99 = pctl(sorted, 99)
-	if n := len(sorted); n > 0 {
-		res.Max = sorted[n-1]
+	// Percentiles come from the log-bucketed histogram — one O(1)
+	// Record per request instead of the old O(n log n) sort, at most
+	// one bucket width (~3%) above the exact nearest-rank value and
+	// clamped to the exact max (see Result.ExactPercentiles for the
+	// retained oracle). Check folds the raw latencies, never the
+	// percentiles, so the quantization cannot drift any golden value.
+	h := obs.NewHistogram()
+	for _, l := range s.lats {
+		h.Record(l)
 	}
+	res.P50 = h.Percentile(50)
+	res.P95 = h.Percentile(95)
+	res.P99 = h.Percentile(99)
+	res.Max = h.Max()
+	res.hist = h
 	for i := range res.PerClient {
 		if r := res.PerClient[i].Requests; r > 0 {
 			res.PerClient[i].MeanCycles /= uint64(r)
