@@ -47,6 +47,7 @@ import (
 	"sgxbench/internal/join"
 	"sgxbench/internal/kernels"
 	"sgxbench/internal/obs"
+	"sgxbench/internal/plan"
 	"sgxbench/internal/platform"
 	"sgxbench/internal/query"
 	"sgxbench/internal/rel"
@@ -370,6 +371,7 @@ type report struct {
 	GoldenOK    bool               `json:"golden_ok"`
 	ServeOK     bool               `json:"serve_collapse_ok"`
 	HashSortOK  bool               `json:"hash_vs_sort_ok"`
+	PlannerOK   bool               `json:"planner_ok"`
 	SpillOK     bool               `json:"spill_degradation_ok"`
 	FaultOK     bool               `json:"fault_degradation_ok"`
 	ShardOK     bool               `json:"shard_scaling_ok"`
@@ -818,6 +820,144 @@ func main() {
 		}
 	}
 
+	// --- Planner: cost-based strategy choice over the 20-query suite ---
+	// Every suite query runs under every static strategy alternative in a
+	// fresh identically-prepared environment, then the enclave-aware cost
+	// model picks per setting. The planner_ok gate is hard: the pick's
+	// measured simulated cycles must never exceed the worst static
+	// choice's (strictly below it whenever the field is spread out), and
+	// on the EPC oversubscription axis the pick must flip to the spill
+	// aggregation exactly where the measured costs cross (2-4x). All
+	// chosen runs are deterministic and feed the golden gate as
+	// "plan.<query>" entries.
+	rep.PlannerOK = true
+	{
+		planDim, planFact := 1<<12, 1<<17
+		if *quick {
+			planDim, planFact = 512, 1<<14
+		}
+		const tieTol = 0.05 // measured near-ties carry no signal
+		suite := plan.Suite()
+		fmt.Printf("== planner (cost-based pick, %d-query suite, %d dim x %d fact) ==\n", len(suite), planDim, planFact)
+		prepEnv := func(s core.Setting, q plan.Query, epcRatio int64) (*core.Env, *plan.Dataset) {
+			var pages int64
+			if epcRatio > 0 {
+				wsBytes := int64(planFact)*(9+7*8) + int64(planDim)*8
+				pages = (wsBytes/4096 + 1) / epcRatio
+			}
+			env := core.NewEnv(core.Options{Plat: platform.XeonGold6326().Scaled(32), Setting: s, EPCPages: pages})
+			return env, plan.GenSuiteDataset(env, q, planDim, planFact, 4242)
+		}
+		// runAll measures every alternative and returns the results plus
+		// the planner's choice for the same environment shape.
+		runAll := func(s core.Setting, q plan.Query, epcRatio int64) (map[string]*plan.Result, map[string]time.Duration, plan.Alternative) {
+			measured := map[string]*plan.Result{}
+			hosts := map[string]time.Duration{}
+			for _, alt := range q.Alternatives() {
+				env, ds := prepEnv(s, q, epcRatio)
+				opt := plan.Options{Threads: *threads, Pred: q.Pred, Limit: q.Limit}
+				start := time.Now()
+				measured[alt.String()] = plan.Execute(env, ds, opt, q.Name, q.Tree(alt))
+				hosts[alt.String()] = time.Since(start)
+			}
+			env, ds := prepEnv(s, q, epcRatio)
+			_, alt := q.Plan(env, ds, *threads)
+			return measured, hosts, alt
+		}
+		spread := func(measured map[string]*plan.Result) (best, worst uint64) {
+			for _, r := range measured {
+				if best == 0 || r.WallCycles < best {
+					best = r.WallCycles
+				}
+				if r.WallCycles > worst {
+					worst = r.WallCycles
+				}
+			}
+			return best, worst
+		}
+		agree, decided := 0, 0
+		for _, s := range settings() {
+			for _, q := range suite {
+				measured, hosts, alt := runAll(s, q, 0)
+				chosen := measured[alt.String()]
+				best, worst := spread(measured)
+				if chosen.WallCycles > worst ||
+					(len(measured) > 1 && chosen.WallCycles == worst && float64(worst-best) > tieTol*float64(best)) {
+					rep.PlannerOK = false
+					fmt.Printf("  PLANNER GATE FAILURE: %s/%s chose %s (%d cycles; field best %d worst %d)\n",
+						q.Name, s, alt, chosen.WallCycles, best, worst)
+				}
+				if float64(worst-best) > tieTol*float64(best) {
+					decided++
+					if float64(chosen.WallCycles) <= (1+tieTol)*float64(best) {
+						agree++
+					}
+				}
+				rep.Sweep = append(rep.Sweep, wlResult{"plan." + q.Name, s.String(), "fast",
+					hosts[alt.String()].Nanoseconds(), 1, chosen.WallCycles, chosen.Check, true, chosen.Stats})
+				if s == core.SGXDiE {
+					fmt.Printf("  %-22s %-9s pick=%-14s simKcyc=%-8d field=[%d..%d]\n",
+						q.Name, s, alt, chosen.WallCycles/1e3, best, worst)
+				}
+			}
+		}
+		note := fmt.Sprintf("planner gate: cost-based pick within %.0f%% of measured best on %d/%d decided (query,setting) blocks",
+			tieTol*100, agree, decided)
+		rep.TargetNotes = append(rep.TargetNotes, note)
+		fmt.Println("  " + note)
+
+		// The EPC-axis flip: under SGX DiE at 2x and 4x oversubscription
+		// the measured field must favor the spill aggregation, and the
+		// planner must follow it there.
+		for _, name := range []string{"s03.j0.sel902.u.agg", "s09.j1.sel250.u.agg"} {
+			q, _ := plan.SuiteByName(name)
+			for _, ratio := range []int64{2, 4} {
+				measured, hosts, alt := runAll(core.SGXDiE, q, ratio)
+				chosen := measured[alt.String()]
+				best, _ := spread(measured)
+				var bestAlt plan.Alternative
+				for _, a := range q.Alternatives() {
+					if measured[a.String()].WallCycles == best {
+						bestAlt = a
+						break
+					}
+				}
+				flipNote := fmt.Sprintf("planner flip: %s at %dx EPC oversubscription pick=%s measured-best=%s", name, ratio, alt, bestAlt)
+				if bestAlt.Agg != plan.AggSpill {
+					rep.PlannerOK = false
+					flipNote += " (measured field did not cross to spill) MISS"
+				} else if alt.Agg != plan.AggSpill {
+					rep.PlannerOK = false
+					flipNote += " (pick did not follow the measured crossing) MISS"
+				} else if float64(chosen.WallCycles) > (1+tieTol)*float64(best) {
+					rep.PlannerOK = false
+					flipNote += fmt.Sprintf(" (pick measures %d, best %d) MISS", chosen.WallCycles, best)
+				}
+				rep.TargetNotes = append(rep.TargetNotes, flipNote)
+				fmt.Println("  " + flipNote)
+				rep.Sweep = append(rep.Sweep, wlResult{fmt.Sprintf("plan.%s@epc%d", q.Name, ratio), core.SGXDiE.String(), "fast",
+					hosts[alt.String()].Nanoseconds(), 1, chosen.WallCycles, chosen.Check, true, chosen.Stats})
+			}
+		}
+
+		// One chain query's chosen plan re-runs on the per-op reference
+		// path: the Project and INL nodes must be bit-identical across
+		// engine paths like every other operator.
+		q, _ := plan.SuiteByName("s19.j3.sel250.u.agg")
+		env, ds := prepEnv(core.SGXDiE, q, 0)
+		tree, alt := q.Plan(env, ds, *threads)
+		opt := plan.Options{Threads: *threads, Pred: q.Pred, Limit: q.Limit}
+		fast := plan.Execute(env, ds, opt, q.Name, tree)
+		refEnv := core.NewEnv(core.Options{Plat: platform.XeonGold6326().Scaled(32), Setting: core.SGXDiE, Reference: true})
+		refDS := plan.GenSuiteDataset(refEnv, q, planDim, planFact, 4242)
+		ref := plan.Execute(refEnv, refDS, opt, q.Name, q.Tree(alt))
+		if fast.Check != ref.Check || fast.WallCycles != ref.WallCycles || fast.Stats != ref.Stats {
+			fmt.Printf("  PLANNER EQUIVALENCE FAILURE: %s fast/ref diverge (check %#x/%#x wall %d/%d)\n",
+				q.Name, fast.Check, ref.Check, fast.WallCycles, ref.WallCycles)
+			rep.Equivalent = false
+		}
+	}
+
 	// --- Serve: multi-query serving scenarios over the worker pool ---
 	// Each setting calibrates the five pipelines once (small
 	// serving-sized queries) and replays the sync x memory scenario
@@ -1193,7 +1333,7 @@ func main() {
 	}
 	f.Close()
 	fmt.Printf("wrote %s\n", *out)
-	if !rep.Equivalent || !rep.GoldenOK || !rep.ServeOK || !rep.HashSortOK || !rep.SpillOK || !rep.FaultOK || !rep.ShardOK || !rep.ObsOK {
+	if !rep.Equivalent || !rep.GoldenOK || !rep.ServeOK || !rep.HashSortOK || !rep.PlannerOK || !rep.SpillOK || !rep.FaultOK || !rep.ShardOK || !rep.ObsOK {
 		os.Exit(1)
 	}
 }

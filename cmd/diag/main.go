@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"sgxbench/internal/agg"
 	"sgxbench/internal/core"
@@ -34,7 +35,7 @@ import (
 
 var (
 	algName   = flag.String("alg", "RHO", "join algorithm: PHT, RHO, MWAY, INL or CrkJoin")
-	queryName = flag.String("query", "", "run a query pipeline instead of a join: q1.filter-agg, q2.filter-join-agg, q3.join-agg, q4.filter-sort-limit or q5.mergejoin-agg")
+	queryName = flag.String("query", "", "run a query pipeline instead of a join: a fixed shape (q1.filter-agg ... q5.mergejoin-agg, q2s/q3s spill variants) or a planner suite query (s01.j0.sel004.u.agg ... s20.j3.sel902.z.agg)")
 	setName   = flag.String("setting", "plain", "execution setting: plain, plainm, doe or die")
 	scale     = flag.Int64("scale", 128, "platform scale-down factor (power of two)")
 	threads   = flag.Int("threads", 16, "worker threads")
@@ -74,6 +75,47 @@ var (
 	profilePath = flag.String("profile", "", "query: print the per-operator x per-phase cycle tree and write folded stacks (flamegraph.pl compatible) to this file")
 )
 
+// runMode identifies which of diag's mutually exclusive run modes a
+// flag combination selects.
+type runMode int
+
+const (
+	modeJoin runMode = iota
+	modeQuery
+	modeServe
+	modeEPC
+	modeFault
+)
+
+// pickMode resolves the mode flags. At most one of -serve, -fault,
+// -epc and -query may be given (none: the single-join mode);
+// conflicting combinations are an error instead of a silent precedence
+// order, so a typo like "-serve -epc" cannot run the wrong simulation.
+func pickMode(serveM, faultM, epcM bool, queryName string) (runMode, error) {
+	var sel []string
+	m := modeJoin
+	if serveM {
+		sel = append(sel, "-serve")
+		m = modeServe
+	}
+	if faultM {
+		sel = append(sel, "-fault")
+		m = modeFault
+	}
+	if epcM {
+		sel = append(sel, "-epc")
+		m = modeEPC
+	}
+	if queryName != "" {
+		sel = append(sel, "-query")
+		m = modeQuery
+	}
+	if len(sel) > 1 {
+		return 0, fmt.Errorf("conflicting modes %s (pick one)", strings.Join(sel, " "))
+	}
+	return m, nil
+}
+
 func parseSetting(s string) (core.Setting, bool) {
 	switch s {
 	case "plain":
@@ -95,6 +137,13 @@ func main() {
 	}
 	flag.Parse()
 
+	mode, err := pickMode(*serveMode, *faultMode, *epcMode, *queryName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "diag: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	setting, ok := parseSetting(*setName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "diag: unknown setting %q (want plain, plainm, doe or die)\n", *setName)
@@ -114,18 +163,18 @@ func main() {
 
 	plat := platform.XeonGold6326().Scaled(*scale)
 
-	if *serveMode || *faultMode {
+	switch mode {
+	case modeServe, modeFault:
 		runServe(plat, setting)
 		return
-	}
-	if *epcMode {
+	case modeEPC:
 		runEPC(plat, setting)
 		return
 	}
 
 	env := core.NewEnv(core.Options{Plat: plat, Setting: setting})
 
-	if *queryName != "" {
+	if mode == modeQuery {
 		p, err := query.ByName(*queryName)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "diag: %v\n", err)

@@ -4,6 +4,7 @@ import (
 	"sgxbench/internal/btree"
 	"sgxbench/internal/core"
 	"sgxbench/internal/engine"
+	"sgxbench/internal/exec"
 	"sgxbench/internal/mem"
 	"sgxbench/internal/rel"
 )
@@ -27,8 +28,16 @@ func (*INL) Name() string { return "INL" }
 
 // Run executes the join.
 func (n *INL) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Result, error) {
-	T := opt.threads()
-	g := env.NewGroup(T, opt.NodeOf)
+	return n.RunOn(env, env.NewGroup(opt.threads(), opt.NodeOf), build, probe, opt)
+}
+
+// RunOn executes the join on an existing thread group (pipeline stage
+// composition: simulated cache/TLB state carries over from the previous
+// stage). Options.Threads and NodeOf are ignored; the group decides both.
+// Result timing and stats cover only this stage's phases.
+func (n *INL) RunOn(env *core.Env, g *exec.Group, build, probe *rel.Relation, opt Options) (*Result, error) {
+	T := len(g.Threads)
+	mark := g.Mark()
 	res := &Result{Algorithm: n.Name()}
 
 	// Pre-built index (setup, untimed).
@@ -40,7 +49,7 @@ func (n *INL) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Resu
 
 	counts := make([]uint64, T)
 	outs := make([]*outWriter, T)
-	g.Phase("Probe", func(t *engine.Thread, id int) {
+	ps := g.Phase("Probe", func(t *engine.Thread, id int) {
 		lo, hi := chunk(probe.N(), T, id)
 		var out *outWriter
 		if opt.Materialize {
@@ -64,7 +73,7 @@ func (n *INL) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Resu
 		}
 		counts[id] = local
 	})
-	res.ProbeCycles = g.Phases()[0].WallCycles
+	res.ProbeCycles = ps.WallCycles
 
 	g.AdvanceClock(env.Alloc.SerialCycles())
 	for _, c := range counts {
@@ -78,8 +87,6 @@ func (n *INL) Run(env *core.Env, build, probe *rel.Relation, opt Options) (*Resu
 			}
 		}
 	}
-	res.Phases = g.Phases()
-	res.WallCycles = g.Clock()
-	res.Stats = g.TotalStats()
+	res.Phases, res.Stats, res.WallCycles = g.Since(mark)
 	return res, nil
 }

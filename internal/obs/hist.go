@@ -27,6 +27,7 @@ type Histogram struct {
 	n      uint64
 	sum    uint64
 	max    uint64
+	min    uint64
 }
 
 // NewHistogram returns an empty histogram.
@@ -68,6 +69,9 @@ func BucketWidth(v uint64) uint64 {
 // Record adds one value.
 func (h *Histogram) Record(v uint64) {
 	h.counts[bucketIndex(v)]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
 	h.n++
 	h.sum += v
 	if v > h.max {
@@ -92,13 +96,21 @@ func (h *Histogram) Mean() uint64 {
 // Max returns the exact maximum recorded value (0 when empty).
 func (h *Histogram) Max() uint64 { return h.max }
 
+// Min returns the exact minimum recorded value (0 when empty).
+func (h *Histogram) Min() uint64 { return h.min }
+
 // Percentile returns the nearest-rank p-th percentile (p in [0, 100]),
 // quantized to the upper edge of the rank's bucket and clamped to the
-// exact maximum: the result is >= the exact value and within one
-// bucket width of it. Empty histograms return 0.
+// exact [min, max] range: the result is >= the exact value and within
+// one bucket width of it. Empty histograms return 0, and p <= 0 returns
+// the exact minimum (the 0th percentile is the smallest value, not the
+// upper edge of its bucket).
 func (h *Histogram) Percentile(p int) uint64 {
 	if h.n == 0 {
 		return 0
+	}
+	if p <= 0 {
+		return h.min
 	}
 	rank := (h.n*uint64(p) + 99) / 100
 	if rank < 1 {
@@ -121,6 +133,9 @@ func (h *Histogram) Percentile(p int) uint64 {
 func (h *Histogram) Merge(o *Histogram) {
 	for i, c := range o.counts {
 		h.counts[i] += c
+	}
+	if o.n > 0 && (h.n == 0 || o.min < h.min) {
+		h.min = o.min
 	}
 	h.n += o.n
 	h.sum += o.sum

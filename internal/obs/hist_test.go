@@ -140,6 +140,57 @@ func TestHistogramMergeMatchesCombined(t *testing.T) {
 	}
 }
 
+// TestHistogramPercentileZeroReturnsMin pins the p<=0 edge case: the
+// 0th percentile is the exact smallest recorded value, not the upper
+// edge of its bucket (which for a wide bucket can overshoot the
+// minimum by almost a full bucket width).
+func TestHistogramPercentileZeroReturnsMin(t *testing.T) {
+	h := obs.NewHistogram()
+	h.Record(1 << 20) // bucket [1<<20, 1<<20+32768): upper edge > value
+	h.Record(1 << 30)
+	if got := h.Percentile(0); got != 1<<20 {
+		t.Errorf("p0 = %d, want exact min %d", got, 1<<20)
+	}
+	if got := h.Percentile(-5); got != 1<<20 {
+		t.Errorf("p(-5) = %d, want exact min %d", got, 1<<20)
+	}
+	if got := h.Min(); got != 1<<20 {
+		t.Errorf("Min = %d, want %d", got, 1<<20)
+	}
+}
+
+// TestHistogramMinTracking: Min is exact under Record and Merge, zero
+// when empty, and merging an empty histogram leaves it untouched.
+func TestHistogramMinTracking(t *testing.T) {
+	h := obs.NewHistogram()
+	if h.Min() != 0 || h.Percentile(0) != 0 {
+		t.Fatal("empty histogram must report Min/p0 = 0")
+	}
+	r := uint64(3)
+	want := ^uint64(0)
+	for i := 0; i < 1000; i++ {
+		r = splitmix64(r)
+		v := 1000 + r%1_000_000
+		h.Record(v)
+		if v < want {
+			want = v
+		}
+	}
+	if h.Min() != want {
+		t.Fatalf("Min = %d, want exact %d", h.Min(), want)
+	}
+	h.Merge(obs.NewHistogram()) // empty merge must not clobber min
+	if h.Min() != want {
+		t.Fatalf("Min after empty merge = %d, want %d", h.Min(), want)
+	}
+	lo := obs.NewHistogram()
+	lo.Record(7)
+	h.Merge(lo)
+	if h.Min() != 7 || h.Percentile(0) != 7 {
+		t.Fatalf("Min after merge = %d (p0 %d), want 7", h.Min(), h.Percentile(0))
+	}
+}
+
 // TestHistogramExtremeValues: the top octave (e=63) is addressable —
 // recording near-MaxUint64 values must not walk off the bucket array,
 // and percentiles stay ordered.

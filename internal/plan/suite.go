@@ -1,0 +1,82 @@
+package plan
+
+import (
+	"sgxbench/internal/core"
+	"sgxbench/internal/rel"
+	"sgxbench/internal/scan"
+)
+
+// The 20-query OLAP suite: star/snowflake shapes spanning the planner's
+// decision space — selectivities from 0.4% to 90%, uniform and
+// self-similar (80/20) fact keys, join chains of 0–3 dimensions, and
+// aggregation vs ORDER BY [LIMIT] finals.
+//
+// Naming scheme: s<NN>.j<dims>.sel<permille>.<u|z>.<agg|top|ord>
+//   j<dims>   join chain depth (j0 = pure aggregation over the fact)
+//   sel<...>  filter selectivity in permille (sel004 = 0.4%, sel250 = 25%)
+//   u|z       uniform vs skewed (Zipf-like self-similar) fact keys
+//   agg       group-by final;  top = ORDER BY + LIMIT;  ord = ORDER BY
+
+// Suite predicates: byte-filter ranges hitting the named selectivities.
+var (
+	sel004 = scan.Predicate{Lo: 40, Hi: 40}  // 1/256  ≈ 0.4%
+	sel102 = scan.Predicate{Lo: 16, Hi: 41}  // 26/256 ≈ 10.2%
+	sel250 = scan.Predicate{Lo: 32, Hi: 95}  // 64/256 = 25%
+	sel500 = scan.Predicate{Lo: 0, Hi: 127}  // 128/256 = 50%
+	sel902 = scan.Predicate{Lo: 10, Hi: 240} // 231/256 ≈ 90.2%
+)
+
+// SuiteLimit is the LIMIT of the suite's top-k queries: small enough
+// that the heap top-k and the full-sort cutoff genuinely differ.
+const SuiteLimit = 256
+
+// Suite returns the suite queries in report order.
+func Suite() []Query {
+	return []Query{
+		{Name: "s01.j0.sel004.u.agg", Pred: sel004},
+		{Name: "s02.j0.sel250.u.agg", Pred: sel250},
+		{Name: "s03.j0.sel902.u.agg", Pred: sel902},
+		{Name: "s04.j0.sel250.z.agg", Pred: sel250, Skew: true},
+		{Name: "s05.j0.sel102.u.top", Pred: sel102, Order: true, Limit: SuiteLimit},
+		{Name: "s06.j0.sel500.u.ord", Pred: sel500, Order: true},
+		{Name: "s07.j1.sel004.u.agg", Pred: sel004, Dims: 1},
+		{Name: "s08.j1.sel102.u.agg", Pred: sel102, Dims: 1},
+		{Name: "s09.j1.sel250.u.agg", Pred: sel250, Dims: 1},
+		{Name: "s10.j1.sel500.u.agg", Pred: sel500, Dims: 1},
+		{Name: "s11.j1.sel902.u.agg", Pred: sel902, Dims: 1},
+		{Name: "s12.j1.sel250.z.agg", Pred: sel250, Dims: 1, Skew: true},
+		{Name: "s13.j1.sel902.z.agg", Pred: sel902, Dims: 1, Skew: true},
+		{Name: "s14.j1.sel250.u.top", Pred: sel250, Dims: 1, Order: true, Limit: SuiteLimit},
+		{Name: "s15.j1.sel500.u.ord", Pred: sel500, Dims: 1, Order: true},
+		{Name: "s16.j2.sel250.u.agg", Pred: sel250, Dims: 2},
+		{Name: "s17.j2.sel500.z.agg", Pred: sel500, Dims: 2, Skew: true},
+		{Name: "s18.j2.sel102.u.top", Pred: sel102, Dims: 2, Order: true, Limit: SuiteLimit},
+		{Name: "s19.j3.sel250.u.agg", Pred: sel250, Dims: 3},
+		{Name: "s20.j3.sel902.z.agg", Pred: sel902, Dims: 3, Skew: true},
+	}
+}
+
+// SuiteByName returns the suite query with the given name.
+func SuiteByName(name string) (Query, bool) {
+	for _, q := range Suite() {
+		if q.Name == name {
+			return q, true
+		}
+	}
+	return Query{}, false
+}
+
+// GenSuiteDataset builds the corpus q is specified over: the uniform
+// star dataset, the self-similar fact keys when the query is skewed,
+// and the snowflake chain levels its join depth needs. Deterministic in
+// seed.
+func GenSuiteDataset(env *core.Env, q Query, nDim, nFact int, seed uint64) *Dataset {
+	ds := GenDataset(env, nDim, nFact, seed)
+	if q.Skew {
+		rel.GenSkewFK(ds.Fact, nDim, seed^0x94d049bb133111eb)
+	}
+	if q.Dims > 1 {
+		EnsureChain(env, ds, q.Dims-1)
+	}
+	return ds
+}

@@ -3,19 +3,19 @@
 // pipelines, the workload class the paper's title names but its
 // experiments only probe operator by operator.
 //
-// A pipeline runs all of its stages on ONE exec.Group: the same
-// simulated threads execute scan, join and aggregation phases back to
-// back, so cache, TLB and prefetcher state carry across operator
-// boundaries, and every intermediate (row-id lists, filtered fact
-// tuples, materialized join outputs, partition buffers) is allocated in
-// the environment's data region — EPC-resident under SGX DiE, exactly
-// where DuckDB-style engines hold intermediates inside an enclave.
+// The pipelines are built from internal/plan's composable nodes: each
+// query shape is a plan tree executed over ONE exec.Group with
+// pre-allocated Scratch, so cache, TLB and prefetcher state carry
+// across operator boundaries and every intermediate is allocated in the
+// environment's data region — EPC-resident under SGX DiE, exactly where
+// DuckDB-style engines hold intermediates inside an enclave. The trees
+// reproduce the original hand-wired pipelines operator call for
+// operator call, so their simulated cycles, checks and statistics are
+// bit-identical to the golden entries recorded before the refactor.
 //
-// Seven query shapes ship: a star-schema aggregation at increasing
-// depth, the two sort-based shapes whose sequential-stream access
-// pattern is the paper's Fig 3 counterpoint to the hash operators, and
-// the two spill variants that rebuild the q2/q3 stars from the
-// EPC-oversubscription-aware operators:
+// Seven fixed query shapes ship, plus the ~20-query planner suite
+// (Suite) whose join/aggregation strategies the cost-based planner in
+// internal/plan picks per setting:
 //
 //	q1.filter-agg              σ(fact) → gather fact tuples → γ(fk; payload)
 //	q2.filter-join-agg         σ(fact) → gather → fact ⋈ dim (RHO) → γ(dim attr)
@@ -39,205 +39,45 @@ import (
 
 	"sgxbench/internal/agg"
 	"sgxbench/internal/core"
-	"sgxbench/internal/engine"
-	"sgxbench/internal/exec"
-	"sgxbench/internal/join"
-	"sgxbench/internal/mem"
-	"sgxbench/internal/obs"
-	"sgxbench/internal/rel"
-	"sgxbench/internal/scan"
+	"sgxbench/internal/plan"
 )
 
-// Dataset is the star-schema corpus the pipelines run over: a dimension
-// relation (unique keys), a fact relation (foreign keys into the
-// dimension, payload = row id), and a byte filter column aligned with
-// the fact rows (the selectivity knob of the scan stage).
-type Dataset struct {
-	Dim    *rel.Relation
-	Fact   *rel.Relation
-	Filter *mem.U8Buf
-}
+// The execution-state types moved to internal/plan when the pipelines
+// became plan trees; these aliases keep the query API (and its callers:
+// serve, bench, diag, tests) stable.
+type (
+	// Dataset is the star-schema corpus the pipelines run over.
+	Dataset = plan.Dataset
+	// Options configures a pipeline run.
+	Options = plan.Options
+	// Scratch holds a pipeline's pre-allocated intermediates.
+	Scratch = plan.Scratch
+	// Result reports a completed pipeline.
+	Result = plan.Result
+	// StageStats reports one pipeline stage.
+	StageStats = plan.StageStats
+)
+
+// DefaultLimit is q4's ORDER BY ... LIMIT row count when Options.Limit
+// is zero, and the per-thread top-k capacity NewScratch provisions.
+const DefaultLimit = plan.DefaultLimit
 
 // GenDataset allocates and fills a dataset in env's data region.
 // Deterministic in seed.
 func GenDataset(env *core.Env, nDim, nFact int, seed uint64) *Dataset {
-	dim, fact := rel.GenFKPair(env.Space, nDim, nFact, env.DataRegion(), seed)
-	filter := env.Space.AllocU8("q.filter", nFact, env.DataRegion())
-	scan.GenColumn(filter, seed^0x9e3779b97f4a7c15)
-	return &Dataset{Dim: dim, Fact: fact, Filter: filter}
-}
-
-// Options configures a pipeline run.
-type Options struct {
-	// Threads is the number of worker threads (default 1).
-	Threads int
-	// NodeOf pins thread i to a socket (nil: the env's node).
-	NodeOf func(i int) int
-	// Pred is the fact filter predicate (q1, q2).
-	Pred scan.Predicate
-	// MaxRows caps the filtered rows fed downstream (0: no cap) — the
-	// benchmark knob bounding the expensive random-access stages.
-	MaxRows int
-	// Limit is q4's ORDER BY ... LIMIT row count (0: DefaultLimit).
-	Limit int
-	// Scratch provides pre-allocated intermediates; repeated runs over
-	// the same Scratch see identical simulated addresses (benchmark
-	// repetitions, golden gates). Nil allocates internally.
-	Scratch *Scratch
-	// Profiler, when set, receives the run's cycle-attribution tree:
-	// one scope per pipeline stage, one leaf per exec phase with the
-	// engine's cycle attribution. Purely observational — attaching a
-	// profiler changes no simulated cycle or check value.
-	Profiler *obs.Profiler
-}
-
-func (o Options) threads() int {
-	if o.Threads < 1 {
-		return 1
-	}
-	return o.Threads
-}
-
-// Scratch holds a pipeline's pre-allocated intermediates. The paper
-// pre-allocates result memory; pipelines extend that convention to every
-// inter-stage buffer so repetitions never re-fault fresh pages.
-type Scratch struct {
-	IDs     *mem.U64Buf   // row-id scan output
-	FTup    *mem.U64Buf   // filtered fact tuples
-	JoinOut []*mem.U64Buf // per-thread materialized join outputs
-	AggOut  *mem.U64Buf   // group entries
-	AggPart *mem.U64Buf   // group-by partition intermediate
-	// Sort-shape intermediates (q4/q5), allocated lazily on first use so
-	// the hash-shape pipelines' working sets — and serve.Calibrate's
-	// per-class page counts, which drive the EDMM commit costs — never
-	// carry sort scratch they don't touch. Once allocated they are
-	// reused, so repeated runs still see identical simulated addresses.
-	// The fact-side sort triple is sized like FTup (maxRows), the dim
-	// side for the full dimension; the top-k triple for up to topK rows
-	// per thread.
-	FactSort, FactTmp, FactSorted *mem.U64Buf // q5 fact work / ping-pong / sorted
-	DimSort, DimTmp, DimSorted    *mem.U64Buf // q5 dim work / ping-pong / sorted
-	TopKHeap, TopKTmp             *mem.U64Buf // q4 per-thread heaps + final-sort ping-pong
-	TopKOut                       *mem.U64Buf // q4 emitted LIMIT rows
-	cap                           int
-	topK                          int
+	return plan.GenDataset(env, nDim, nFact, seed)
 }
 
 // NewScratch pre-allocates intermediates for pipelines over ds with the
-// given thread count; maxRows bounds the rows any stage materializes
-// (use the fact row count when no MaxRows cap is applied).
+// given thread count; maxRows bounds the rows any stage materializes.
 func NewScratch(env *core.Env, ds *Dataset, threads, maxRows int) *Scratch {
-	if threads < 1 {
-		threads = 1
-	}
-	if maxRows < 1 {
-		maxRows = 1
-	}
-	reg := env.DataRegion()
-	topK := DefaultLimit
-	if topK > maxRows {
-		topK = maxRows
-	}
-	sc := &Scratch{
-		IDs:     env.Space.AllocU64("q.ids", ds.Fact.N()+64, reg),
-		FTup:    env.Space.AllocU64("q.ftup", maxRows, reg),
-		JoinOut: make([]*mem.U64Buf, threads),
-		AggOut:  env.Space.AllocU64("q.agg.out", agg.EntryWords*maxRows, reg),
-		AggPart: env.Space.AllocU64("q.agg.parts", maxRows, reg),
-		cap:     maxRows,
-		topK:    topK,
-	}
-	for i := range sc.JoinOut {
-		sc.JoinOut[i] = env.Space.AllocU64(fmt.Sprintf("q.join.out.%d", i), maxRows, reg)
-	}
-	return sc
-}
-
-// ensureSort allocates the q5 sort triples on first use (in the
-// pipeline's setup path, before any timed phase, so addresses stay
-// deterministic).
-func (sc *Scratch) ensureSort(env *core.Env, ds *Dataset) {
-	if sc.FactSort != nil {
-		return
-	}
-	reg := env.DataRegion()
-	sc.FactSort = env.Space.AllocU64("q.fact.work", sc.cap, reg)
-	sc.FactTmp = env.Space.AllocU64("q.fact.tmp", sc.cap, reg)
-	sc.FactSorted = env.Space.AllocU64("q.fact.sorted", sc.cap, reg)
-	sc.DimSort = env.Space.AllocU64("q.dim.work", ds.Dim.N(), reg)
-	sc.DimTmp = env.Space.AllocU64("q.dim.tmp", ds.Dim.N(), reg)
-	sc.DimSorted = env.Space.AllocU64("q.dim.sorted", ds.Dim.N(), reg)
-}
-
-// ensureTopK allocates the q4 top-k triple on first use.
-func (sc *Scratch) ensureTopK(env *core.Env, threads int) {
-	if sc.TopKHeap != nil {
-		return
-	}
-	reg := env.DataRegion()
-	if threads < 1 {
-		threads = 1
-	}
-	sc.TopKHeap = env.Space.AllocU64("q.topk.heap", threads*sc.topK, reg)
-	sc.TopKTmp = env.Space.AllocU64("q.topk.tmp", threads*sc.topK, reg)
-	sc.TopKOut = env.Space.AllocU64("q.topk.out", sc.topK, reg)
-}
-
-// StageStats reports one pipeline stage.
-type StageStats struct {
-	Name       string
-	WallCycles uint64
-	Rows       uint64 // rows the stage produced
-}
-
-// Result reports a completed pipeline.
-type Result struct {
-	Pipeline   string
-	WallCycles uint64
-	Rows       uint64 // rows flowing into the aggregation
-	Groups     int
-	// Check is the deterministic checksum benchmarks and golden gates
-	// compare: stage cardinalities folded with the aggregate checksum.
-	Check  uint64
-	Stages []StageStats
-	Phases []exec.PhaseStats
-	Stats  engine.Stats
-	// TopRows holds q4's emitted LIMIT rows in ORDER BY order (nil for
-	// the aggregation-shaped pipelines).
-	TopRows []uint64
+	return plan.NewScratch(env, ds, threads, maxRows)
 }
 
 // Pipeline is one executable query shape.
 type Pipeline struct {
 	Name string
 	Run  func(env *core.Env, ds *Dataset, opt Options) *Result
-}
-
-// All returns the shipped pipelines in report order. The q2s/q3s shapes
-// are the q2/q3 star queries rebuilt from the spill-partitioned join and
-// group-by; without an EPC capacity limit on the Env they run fully
-// resident, and under one they degrade gracefully (the oversubscription
-// gate's spill-aware side).
-func All() []Pipeline {
-	return []Pipeline{
-		{Name: Q1Name, Run: Q1FilterAgg},
-		{Name: Q2Name, Run: Q2FilterJoinAgg},
-		{Name: Q3Name, Run: Q3JoinAgg},
-		{Name: Q4Name, Run: Q4FilterSortLimit},
-		{Name: Q5Name, Run: Q5MergeJoinAgg},
-		{Name: Q2SName, Run: Q2SFilterJoinAggSpill},
-		{Name: Q3SName, Run: Q3SJoinAggSpill},
-	}
-}
-
-// ByName returns the pipeline with the given name.
-func ByName(name string) (Pipeline, error) {
-	for _, p := range All() {
-		if p.Name == name {
-			return p, nil
-		}
-	}
-	return Pipeline{}, fmt.Errorf("query: unknown pipeline %q", name)
 }
 
 // Pipeline names (the bench workload identifiers).
@@ -251,107 +91,12 @@ const (
 	Q3SName = "q3s.join-agg-spill"
 )
 
-// scratch returns the options' Scratch, allocating one when absent.
-func (o Options) scratch(env *core.Env, ds *Dataset) *Scratch {
-	if o.Scratch != nil {
-		return o.Scratch
-	}
-	maxRows := ds.Fact.N()
-	if o.MaxRows > 0 && o.MaxRows < maxRows {
-		maxRows = o.MaxRows
-	}
-	return NewScratch(env, ds, o.threads(), maxRows)
-}
-
-// profiled attaches opt.Profiler (when set) to the group and opens the
-// pipeline's own scope, so stage scopes and phase leaves nest under the
-// pipeline name. The returned closer pops the scope; with no profiler
-// everything is a no-op:
-//
-//	defer profiled(g, opt, Q2Name)()
-func profiled(g *exec.Group, opt Options, name string) func() {
-	if opt.Profiler == nil {
-		return func() {}
-	}
-	g.AttachProfiler(opt.Profiler)
-	return g.Scope(name)
-}
-
-// capRuns truncates the per-thread id runs, in order, to at most maxN
-// total rows; it returns the capped runs and their row total.
-func capRuns(runs []scan.IDRun, maxN int) ([]scan.IDRun, int) {
-	out := make([]scan.IDRun, 0, len(runs))
-	n := 0
-	for _, r := range runs {
-		if r.Count > maxN-n {
-			r.Count = maxN - n
-		}
-		out = append(out, r)
-		n += r.Count
-	}
-	return out, n
-}
-
-// filterGather runs the shared σ(fact)→gather prefix of q1 and q2 on g:
-// a row-id scan over the filter column, then the materialization of the
-// qualifying fact tuples (densely packed in per-thread run order). It
-// returns the filtered row count.
-func filterGather(env *core.Env, g *exec.Group, ds *Dataset, sc *Scratch, opt Options, res *Result) int {
-	closeFilter := g.Scope("filter")
-	sr := scan.RunOn(env, g, ds.Filter, scan.Options{Pred: opt.Pred, RowIDs: true, IDs: sc.IDs})
-	closeFilter()
-	res.Stages = append(res.Stages, StageStats{Name: "filter", WallCycles: sr.WallCycles, Rows: sr.Matches})
-	res.Check = agg.Mix(res.Check, sr.Matches)
-
-	maxN := sc.FTup.Len()
-	if opt.MaxRows > 0 && opt.MaxRows < maxN {
-		maxN = opt.MaxRows
-	}
-	runs, n := capRuns(sr.IDRuns, maxN)
-	closeGather := g.Scope("gather")
-	gr := scan.GatherU64On(env, g, ds.Fact.Tup, sc.IDs, runs, sc.FTup)
-	closeGather()
-	res.Stages = append(res.Stages, StageStats{Name: "gather", WallCycles: gr.WallCycles, Rows: uint64(n)})
-	res.Check = agg.Mix(res.Check, gr.Sum)
-	return n
-}
-
-// aggregate runs the final group-by stage over the given segments.
-func aggregate(env *core.Env, g *exec.Group, ds *Dataset, sc *Scratch, ins []agg.Input, sel agg.Sel, res *Result) {
-	rows := 0
-	for _, in := range ins {
-		rows += in.N
-	}
-	closeAgg := g.Scope("agg")
-	ar := agg.RunOn(env, g, ins, agg.Options{
-		Sel: sel, Groups: ds.Dim.N(), Out: sc.AggOut, Parts: sc.AggPart,
-	})
-	closeAgg()
-	res.Stages = append(res.Stages, StageStats{Name: "agg", WallCycles: ar.WallCycles, Rows: uint64(ar.Groups)})
-	res.Rows = uint64(rows)
-	res.Groups = ar.Groups
-	res.Check = agg.Mix(res.Check, ar.Check)
-}
-
-// finish seals the pipeline result from the group's full run.
-func finish(g *exec.Group, res *Result) *Result {
-	res.Phases = g.Phases()
-	res.WallCycles = g.Clock()
-	res.Stats = g.TotalStats()
-	return res
-}
-
 // Q1FilterAgg is σ(fact) → gather → γ(fk; SUM/COUNT/MIN/MAX payload):
 // the selective aggregation query. The gather is data-dependent random
 // access; the group-by keys are the fact foreign keys.
 func Q1FilterAgg(env *core.Env, ds *Dataset, opt Options) *Result {
-	g := env.NewGroup(opt.threads(), opt.NodeOf)
-	sc := opt.scratch(env, ds)
-	defer profiled(g, opt, Q1Name)()
-	res := &Result{Pipeline: Q1Name, Check: agg.FNVOffset64}
-	n := filterGather(env, g, ds, sc, opt, res)
-	aggregate(env, g, ds, sc, []agg.Input{{Tup: sc.FTup, N: n}}, agg.ByKey, res)
-	return finish(g, res)
+	return plan.Execute(env, ds, opt, Q1Name,
+		plan.GroupBy{Input: plan.Gather{Input: plan.Filter{Input: plan.Scan{}}}, Sel: agg.ByKey})
 }
 
 // Q2FilterJoinAgg is σ(fact) → gather → fact ⋈ dim (RHO, materialized)
@@ -359,64 +104,110 @@ func Q1FilterAgg(env *core.Env, ds *Dataset, opt Options) *Result {
 // outputs land in per-thread pre-allocated buffers and feed the
 // aggregation as segments.
 func Q2FilterJoinAgg(env *core.Env, ds *Dataset, opt Options) *Result {
-	g := env.NewGroup(opt.threads(), opt.NodeOf)
-	sc := opt.scratch(env, ds)
-	defer profiled(g, opt, Q2Name)()
-	res := &Result{Pipeline: Q2Name, Check: agg.FNVOffset64}
-	n := filterGather(env, g, ds, sc, opt, res)
-	probe := &rel.Relation{Name: "S'", Tup: sc.FTup.View(n)}
-	closeJoin := g.Scope("join")
-	jr, err := join.NewRHO().RunOn(env, g, ds.Dim, probe, join.Options{
-		Optimized: true, Materialize: true, OutBufs: sc.JoinOut,
-	})
-	closeJoin()
-	if err != nil {
-		panic(err)
-	}
-	res.Stages = append(res.Stages, StageStats{Name: "join", WallCycles: jr.WallCycles, Rows: jr.Matches})
-	res.Check = agg.Mix(res.Check, jr.Matches)
-	aggregate(env, g, ds, sc, joinSegments(sc, jr), agg.ByPayload, res)
-	return finish(g, res)
+	return plan.Execute(env, ds, opt, Q2Name,
+		plan.GroupBy{
+			Input: plan.HashJoin{Input: plan.Gather{Input: plan.Filter{Input: plan.Scan{}}}},
+			Sel:   agg.ByPayload,
+		})
 }
 
 // Q3JoinAgg is fact ⋈ dim (PHT, materialized) → γ(dim attr): the
 // unfiltered join-aggregation over the no-partitioning join, whose
 // shared-table build is the paper's most SSB-sensitive operator.
 func Q3JoinAgg(env *core.Env, ds *Dataset, opt Options) *Result {
-	g := env.NewGroup(opt.threads(), opt.NodeOf)
-	sc := opt.scratch(env, ds)
-	defer profiled(g, opt, Q3Name)()
-	res := &Result{Pipeline: Q3Name, Check: agg.FNVOffset64}
-	closeJoin := g.Scope("join")
-	jr, err := join.NewPHT().RunOn(env, g, ds.Dim, ds.Fact, join.Options{
-		Optimized: true, Materialize: true, OutBufs: sc.JoinOut,
-	})
-	closeJoin()
-	if err != nil {
-		panic(err)
-	}
-	res.Stages = append(res.Stages, StageStats{Name: "join", WallCycles: jr.WallCycles, Rows: jr.Matches})
-	res.Check = agg.Mix(res.Check, jr.Matches)
-	aggregate(env, g, ds, sc, joinSegments(sc, jr), agg.ByPayload, res)
-	return finish(g, res)
+	return plan.Execute(env, ds, opt, Q3Name,
+		plan.GroupBy{
+			Input: plan.HashJoin{Input: plan.Scan{}, Shared: true},
+			Sel:   agg.ByPayload,
+		})
 }
 
-// joinSegments maps a materialized join result onto the aggregation's
-// input segments: one per thread, backed by the pre-allocated output
-// buffer. Rows past a buffer's capacity spilled to dynamically claimed
-// chunks at non-deterministic addresses; they are excluded here (size
-// Scratch to the workload so this never truncates — the stage row
-// counts in Result.Stages expose it when it does).
-func joinSegments(sc *Scratch, jr *join.Result) []agg.Input {
-	segs := make([]agg.Input, 0, len(jr.Output))
-	for i, rows := range jr.Output {
-		n := len(rows)
-		if i < len(sc.JoinOut) {
-			if c := sc.JoinOut[i].Len(); n > c {
-				n = c
-			}
-			segs = append(segs, agg.Input{Tup: sc.JoinOut[i], N: n})
+// Q4FilterSortLimit is σ(fact) → gather → ORDER BY key LIMIT k: the
+// selective top-k query. The shared filter→gather prefix of q1/q2 feeds
+// the heap-based top-k operator; the k survivors are emitted in
+// ascending key order. Result.Groups reports the emitted row count and
+// Result.TopRows the rows themselves (ORDER BY key, ties by tuple).
+func Q4FilterSortLimit(env *core.Env, ds *Dataset, opt Options) *Result {
+	return plan.Execute(env, ds, opt, Q4Name,
+		plan.TopK{Input: plan.Gather{Input: plan.Filter{Input: plan.Scan{}}}})
+}
+
+// Q5MergeJoinAgg is sort(fact), sort(dim) → merge join → γ(dim attr):
+// the sort-based star query, q2/q3's contrast workload. Both inputs are
+// sorted with internal/sort's run-sort + multi-way merge as explicit
+// pipeline stages, merge-joined with join.MergeJoinSorted (MWAY's final
+// pass) into the pre-allocated per-thread output buffers, and aggregated
+// by the dimension attribute — the same γ as q2/q3, so any end-to-end
+// slowdown difference is attributable to the join path's access pattern.
+func Q5MergeJoinAgg(env *core.Env, ds *Dataset, opt Options) *Result {
+	return plan.Execute(env, ds, opt, Q5Name,
+		plan.GroupBy{Input: plan.MergeJoin{Input: plan.Scan{}}, Sel: agg.ByPayload})
+}
+
+// Q2SFilterJoinAggSpill is σ(fact) → gather → fact ⋈ dim (GRACE,
+// materialized) → spill γ(dim attr): the q2 star query on the
+// spill-partitioned operator pair, which detects an EPC capacity limit
+// on the Env and stages partition runs in untrusted memory so the
+// pipeline degrades gracefully instead of collapsing.
+func Q2SFilterJoinAggSpill(env *core.Env, ds *Dataset, opt Options) *Result {
+	return plan.Execute(env, ds, opt, Q2SName,
+		plan.SpillGroupBy{
+			Input: plan.GraceJoin{Input: plan.Gather{Input: plan.Filter{Input: plan.Scan{}}}},
+			Sel:   agg.ByPayload,
+		})
+}
+
+// Q3SJoinAggSpill is fact ⋈ dim (GRACE, materialized) → spill γ(dim
+// attr): the unfiltered q3 join-aggregation on the spill-partitioned
+// operator pair.
+func Q3SJoinAggSpill(env *core.Env, ds *Dataset, opt Options) *Result {
+	return plan.Execute(env, ds, opt, Q3SName,
+		plan.SpillGroupBy{Input: plan.GraceJoin{Input: plan.Scan{}}, Sel: agg.ByPayload})
+}
+
+// All returns the shipped fixed pipelines in report order. The q2s/q3s
+// shapes are the q2/q3 star queries rebuilt from the spill-partitioned
+// join and group-by; without an EPC capacity limit on the Env they run
+// fully resident, and under one they degrade gracefully (the
+// oversubscription gate's spill-aware side).
+func All() []Pipeline {
+	return []Pipeline{
+		{Name: Q1Name, Run: Q1FilterAgg},
+		{Name: Q2Name, Run: Q2FilterJoinAgg},
+		{Name: Q3Name, Run: Q3JoinAgg},
+		{Name: Q4Name, Run: Q4FilterSortLimit},
+		{Name: Q5Name, Run: Q5MergeJoinAgg},
+		{Name: Q2SName, Run: Q2SFilterJoinAggSpill},
+		{Name: Q3SName, Run: Q3SJoinAggSpill},
+	}
+}
+
+// Suite returns the planner's ~20-query star/snowflake suite
+// (internal/plan's Suite) as executable pipelines: each Run ensures the
+// snowflake chain its depth needs, then lets the cost-based planner
+// pick the join/aggregation strategies for the environment's setting
+// and EPC regime before executing the lowered tree.
+func Suite() []Pipeline {
+	qs := plan.Suite()
+	out := make([]Pipeline, len(qs))
+	for i, q := range qs {
+		q := q
+		out[i] = Pipeline{Name: q.Name, Run: q.Run}
+	}
+	return out
+}
+
+// ByName returns the fixed pipeline or suite query with the given name.
+func ByName(name string) (Pipeline, error) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, nil
 		}
 	}
-	return segs
+	for _, p := range Suite() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Pipeline{}, fmt.Errorf("query: unknown pipeline %q", name)
 }

@@ -73,6 +73,42 @@ func GenFKPair(space *mem.Space, nBuild, nProbe int, reg mem.Region, seed uint64
 	return build, probe
 }
 
+// GenDim allocates and fills a standalone dimension relation: unique
+// keys 1..n in random order, payload = row identifier. The same shape
+// as GenFK's build side, for snowflake chain levels generated
+// independently of a probe side. Deterministic in seed.
+func GenDim(space *mem.Space, name string, n int, reg mem.Region, seed uint64) *Relation {
+	d := Alloc(space, name, n, reg)
+	r := rng.NewXorShift(rng.Mix(seed))
+	perm := make([]uint32, n)
+	r.Permutation(perm)
+	for i := range d.Tup.D {
+		d.Tup.D[i] = mem.MakeTuple(perm[i]+1, uint32(i))
+	}
+	return d
+}
+
+// GenSkewFK refills probe's keys with a self-similar (80/20) draw over
+// the domain 1..dimN: 80% of the rows land in the first 20% of the key
+// space, recursively at every scale — the skewed foreign keys of a real
+// fact table. Payloads stay row identifiers. Deterministic in seed.
+func GenSkewFK(probe *Relation, dimN int, seed uint64) {
+	r := rng.NewXorShift(rng.Mix(seed))
+	for i := range probe.Tup.D {
+		lo, span := uint64(0), uint64(dimN)
+		for span > 1 {
+			head := (span + 4) / 5 // first 20% of the remaining span
+			if r.Uint64n(5) != 0 { // 80% of the mass
+				span = head
+			} else {
+				lo += head
+				span -= head
+			}
+		}
+		probe.Tup.D[i] = mem.MakeTuple(uint32(lo)+1, uint32(i))
+	}
+}
+
 // Clone copies r into a new relation in region reg (used by in-place
 // algorithms such as CrkJoin that must not destroy the shared inputs).
 func Clone(space *mem.Space, r *Relation, name string, reg mem.Region) *Relation {

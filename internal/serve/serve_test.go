@@ -290,3 +290,37 @@ func TestParseRoundTrip(t *testing.T) {
 		t.Error("ParseMem accepted bogus")
 	}
 }
+
+// TestCalibrateSuiteClasses covers the planner-suite side of the query
+// registry: serving classes named after suite queries must calibrate
+// (the planner picks each class's strategies for the calibration
+// setting) and replay deterministically, so a serving mix can blend the
+// fixed shapes with planned star queries.
+func TestCalibrateSuiteClasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs full pipelines")
+	}
+	pipes := []string{query.Q2Name, "s03.j0.sel902.u.agg", "s09.j1.sel250.u.agg", "s14.j1.sel250.u.top"}
+	w, err := serve.Calibrate(serve.CalibrateOptions{Setting: core.SGXDiE, Pipelines: pipes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Classes) != len(pipes) {
+		t.Fatalf("calibrated %d classes, want %d", len(w.Classes), len(pipes))
+	}
+	for i, c := range w.Classes {
+		if c.Name != pipes[i] || c.ServiceCycles == 0 {
+			t.Errorf("class %d = %+v, want name %q with nonzero service", i, c, pipes[i])
+		}
+	}
+	c := cfg(serve.SyncLockFree, serve.MemPreSized)
+	a, b := mustSim(t, w, c), mustSim(t, w, c)
+	if a.Check != b.Check || a.MakespanCycles != b.MakespanCycles {
+		t.Fatalf("suite-class scenario replay diverged: %+v vs %+v", a, b)
+	}
+	if _, err := serve.Calibrate(serve.CalibrateOptions{
+		Setting: core.SGXDiE, Pipelines: []string{"s99.nope"},
+	}); err == nil {
+		t.Fatal("unknown suite class calibrated without error")
+	}
+}
